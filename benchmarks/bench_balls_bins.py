@@ -1,0 +1,69 @@
+"""E7 — Lemmas 1-3: balls-and-bins concentration under limited independence.
+
+Throws A balls into K bins using (a) a truly random assignment, (b) the
+k-wise independent family with the independence Lemma 2 prescribes, and
+(c) a deliberately weak 2-wise family, and compares the empirical mean and
+variance of the occupied-bin count against Fact 1 and the Lemma 1 bound.
+The paper's point: (b) already matches (a); this is what lets the sketch
+drop the random-oracle assumption.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit, run_once
+
+from repro.analysis import Table
+from repro.core.balls_bins import occupancy_statistics, simulate_occupancy
+from repro.hashing.kwise import KWiseHash, required_independence
+
+BALLS = 120
+BINS = 4096
+TRIALS = 60
+
+
+def test_limited_independence_occupancy(benchmark):
+    def experiment():
+        def kwise_factory(independence):
+            def factory(rng: random.Random):
+                return KWiseHash(BALLS, BINS, independence=independence, rng=rng)
+
+            return factory
+
+        lemma2_independence = required_independence(BINS, 0.05)
+        return {
+            "truly random": occupancy_statistics(
+                simulate_occupancy(BALLS, BINS, TRIALS, seed=1)
+            ),
+            "k-wise (Lemma 2, k=%d)" % lemma2_independence: occupancy_statistics(
+                simulate_occupancy(
+                    BALLS, BINS, TRIALS, seed=2, hash_factory=kwise_factory(lemma2_independence)
+                )
+            ),
+            "pairwise only": occupancy_statistics(
+                simulate_occupancy(BALLS, BINS, TRIALS, seed=3, hash_factory=kwise_factory(2))
+            ),
+        }
+
+    results = run_once(benchmark, experiment)
+    expected = next(iter(results.values()))["expected_occupied"]
+    variance_bound = next(iter(results.values()))["variance_bound"]
+    table = Table(
+        "E7: occupied bins, A=%d balls, K=%d bins, %d trials (Fact 1 E[X]=%.1f, Lemma 1 bound=%.1f)"
+        % (BALLS, BINS, TRIALS, expected, variance_bound),
+        ["hash family", "mean occupied", "rel. gap to E[X]", "variance", "mean inverted estimate"],
+    )
+    for family, stats in results.items():
+        table.add_row([
+            family,
+            "%.2f" % stats["mean_occupied"],
+            "%.4f" % (abs(stats["mean_occupied"] - expected) / expected),
+            "%.2f" % stats["variance_occupied"],
+            "%.1f" % stats["mean_estimate"],
+        ])
+    emit("E7: balls and bins with limited independence", table.render_text())
+
+    for family, stats in results.items():
+        assert abs(stats["mean_occupied"] - expected) / expected < 0.05, family
+        assert stats["variance_occupied"] <= 2 * variance_bound, family

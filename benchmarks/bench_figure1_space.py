@@ -1,0 +1,67 @@
+"""E1 — Figure 1, space column: bits used by each algorithm at equal accuracy.
+
+Reproduces the shape of the paper's Figure 1 space comparison: for each
+algorithm and each accuracy target eps, measure the sketch size in bits
+(word-RAM accounting via ``space_bits()``) after processing the same
+workload.  The KNW rows should scale as ``O(eps^-2 + log n)`` while the
+pre-KNW non-oracle algorithms carry an extra ``log n`` factor on the
+``eps^-2`` term, and the oracle-model algorithms (LogLog/HLL/bitmaps) are
+flagged as such.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_UNIVERSE, emit, run_once
+
+from repro.analysis import Table, format_bits, space_sweep
+from repro.estimators.registry import make_f0_estimator
+from repro.streams import distinct_items_stream
+
+EPS_VALUES = [0.2, 0.1, 0.05, 0.02]
+ALGORITHMS = [
+    "knw",
+    "knw-fast",
+    "knw-paper",
+    "flajolet-martin",
+    "ams",
+    "gibbons-tirthapura",
+    "kmv",
+    "bjkst",
+    "loglog",
+    "linear-counting",
+    "multiscale-bitmap",
+    "hyperloglog",
+    "exact",
+]
+
+
+def test_figure1_space_column(benchmark):
+    stream = distinct_items_stream(BENCH_UNIVERSE, 20_000, repetitions=1, seed=11)
+
+    def experiment():
+        return space_sweep(ALGORITHMS, stream, EPS_VALUES, seed=3)
+
+    results = run_once(benchmark, experiment)
+
+    table = Table(
+        "E1 / Figure 1 (space): sketch size in bits, universe 2^20, F0 = 20000",
+        ["algorithm", "oracle model"] + ["eps=%.2f" % eps for eps in EPS_VALUES],
+    )
+    for algorithm in ALGORITHMS:
+        estimator = make_f0_estimator(algorithm, BENCH_UNIVERSE, 0.1, seed=1)
+        oracle = "yes" if estimator.requires_random_oracle else "no"
+        row = [algorithm, oracle]
+        for eps in EPS_VALUES:
+            row.append(format_bits(results[algorithm][eps]))
+        table.add_row(row)
+    emit("E1: Figure 1 space column", table.render_text())
+
+    # Shape assertions: KNW must beat the eps^-2 * log(n) algorithms at the
+    # finest accuracy, and every sketch must beat exact storage.
+    assert results["knw"][0.02] < results["kmv"][0.02]
+    assert results["knw"][0.02] < results["gibbons-tirthapura"][0.02]
+    assert results["knw"][0.02] < results["exact"][0.02]
+    # The eps^-2 term must dominate scaling between eps=0.2 and eps=0.02
+    # (the log(n)-sized components are shared, so the ratio is below the
+    # raw 100x bin ratio but must still clearly grow).
+    assert results["knw"][0.02] > 3 * results["knw"][0.2]

@@ -1,0 +1,64 @@
+"""E2 — Figure 1, update-time column: per-update cost of each algorithm.
+
+The paper's claim is O(1) worst-case update time, independent of eps and n.
+Python wall-clock constants are interpreter-dominated, so the meaningful
+reproduction is the *shape*: the KNW update cost should not grow when eps
+shrinks (unlike e.g. AMS whose update evaluates eps-many hash repetitions,
+or KMV whose update maintains a size-1/eps^2 structure), and should not
+grow with the stream position.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from conftest import BENCH_UNIVERSE
+
+from repro.estimators.registry import make_f0_estimator
+
+ALGORITHMS = ["knw", "knw-fast", "hyperloglog", "kmv", "bjkst", "ams", "linear-counting"]
+EPS_VALUES = [0.1, 0.02]
+
+
+def _prefill(estimator, count: int, seed: int) -> None:
+    rng = random.Random(seed)
+    for _ in range(count):
+        estimator.update(rng.randrange(BENCH_UNIVERSE))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("eps", EPS_VALUES)
+def test_update_time(benchmark, algorithm, eps):
+    """Time one stream update on a sketch that has already absorbed 5000 items."""
+    estimator = make_f0_estimator(algorithm, BENCH_UNIVERSE, eps, seed=7)
+    _prefill(estimator, 5_000, seed=13)
+    items = itertools.cycle(
+        [random.Random(17).randrange(BENCH_UNIVERSE) for _ in range(512)]
+    )
+    benchmark.group = "update-time eps=%.2f" % eps
+    benchmark(lambda: estimator.update(next(items)))
+
+
+def test_knw_update_time_independent_of_eps(benchmark):
+    """The KNW per-update cost must not blow up as eps shrinks (O(1) claim)."""
+    import time
+
+    def measure(eps: float) -> float:
+        estimator = make_f0_estimator("knw-fast", BENCH_UNIVERSE, eps, seed=3)
+        _prefill(estimator, 2_000, seed=5)
+        rng = random.Random(11)
+        items = [rng.randrange(BENCH_UNIVERSE) for _ in range(4_000)]
+        start = time.perf_counter()
+        for item in items:
+            estimator.update(item)
+        return (time.perf_counter() - start) / len(items)
+
+    def experiment():
+        return {eps: measure(eps) for eps in (0.2, 0.05, 0.02)}
+
+    timings = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nE2 shape check: knw-fast per-update seconds by eps:", timings)
+    # Allow interpreter noise but reject an eps^-2-style blow-up (25x here).
+    assert timings[0.02] < 5.0 * timings[0.2]

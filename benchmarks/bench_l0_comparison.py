@@ -1,0 +1,107 @@
+"""E8 — Theorem 10 vs. Ganguly: L0 accuracy, space, and deletion handling.
+
+Compares the KNW L0 estimator against the Ganguly-style baseline on
+turnstile streams with increasing deletion fractions, plus the mixed-sign
+workload only KNW supports.  Space is reported for a realistically large
+frequency bound (the regime where KNW's loglog(mM) fingerprints beat
+Ganguly's log(mM) counters).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.analysis import Table, format_bits
+from repro.analysis.metrics import relative_error
+from repro.l0 import GangulyStyleL0Estimator, KNWHammingNormEstimator
+from repro.streams import insert_delete_stream, mixed_sign_stream
+
+UNIVERSE = 1 << 14
+EPS = 0.1
+SEEDS = [1, 2, 3]
+DELETE_FRACTIONS = [0.0, 0.25, 0.5]
+MAGNITUDE_BOUND = 1 << 40  # a realistically large mM for the space comparison
+
+
+def test_l0_accuracy_and_space(benchmark):
+    def experiment():
+        rows = []
+        for fraction in DELETE_FRACTIONS:
+            knw_errors, ganguly_errors = [], []
+            knw_space = ganguly_space = 0
+            for seed in SEEDS:
+                stream = insert_delete_stream(
+                    UNIVERSE, 3_000, delete_fraction=fraction, copies=2, seed=200 + seed
+                )
+                truth = stream.ground_truth()
+                knw = KNWHammingNormEstimator(
+                    UNIVERSE, eps=EPS, magnitude_bound=MAGNITUDE_BOUND, seed=seed
+                )
+                ganguly = GangulyStyleL0Estimator(
+                    UNIVERSE, eps=EPS, magnitude_bound=MAGNITUDE_BOUND, seed=seed
+                )
+                knw_errors.append(relative_error(knw.process_stream(stream), truth))
+                ganguly_errors.append(relative_error(ganguly.process_stream(stream), truth))
+                knw_space = knw.space_bits()
+                ganguly_space = ganguly.space_bits()
+            rows.append(
+                (
+                    fraction,
+                    sum(knw_errors) / len(knw_errors),
+                    sum(ganguly_errors) / len(ganguly_errors),
+                    knw_space,
+                    ganguly_space,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = Table(
+        "E8a: L0 estimation, eps=%.2f, mM=2^40, %d seeds" % (EPS, len(SEEDS)),
+        ["delete fraction", "knw-l0 mean err", "ganguly mean err", "knw-l0 space", "ganguly space"],
+    )
+    for fraction, knw_err, ganguly_err, knw_space, ganguly_space in rows:
+        table.add_row([
+            "%.2f" % fraction,
+            "%.3f" % knw_err,
+            "%.3f" % ganguly_err,
+            format_bits(knw_space),
+            format_bits(ganguly_space),
+        ])
+    emit("E8a: KNW L0 vs Ganguly-style baseline", table.render_text())
+
+    for fraction, knw_err, _, _, _ in rows:
+        assert knw_err <= 4 * EPS
+
+
+def test_l0_mixed_sign_only_knw(benchmark):
+    def experiment():
+        stream = mixed_sign_stream(UNIVERSE, 1_000, 1_000, seed=7)
+        truth = stream.ground_truth()
+        knw = KNWHammingNormEstimator(
+            UNIVERSE, eps=EPS, magnitude_bound=MAGNITUDE_BOUND, seed=9
+        )
+        ganguly = GangulyStyleL0Estimator(
+            UNIVERSE, eps=EPS, magnitude_bound=MAGNITUDE_BOUND, seed=9
+        )
+        return {
+            "truth": truth,
+            "knw": knw.process_stream(stream),
+            "ganguly": ganguly.process_stream(stream),
+        }
+
+    result = run_once(benchmark, experiment)
+    body = (
+        "truth = %d\nknw-l0 estimate = %.1f (rel. err %.3f)\n"
+        "ganguly estimate = %.1f (rel. err %.3f)  <- requires non-negative frequencies;\n"
+        "mixed-sign streams are outside its contract, which is the paper's point."
+        % (
+            result["truth"],
+            result["knw"],
+            relative_error(result["knw"], result["truth"]),
+            result["ganguly"],
+            relative_error(result["ganguly"], result["truth"]),
+        )
+    )
+    emit("E8b: mixed-sign frequencies (KNW handles, Ganguly does not)", body)
+    assert relative_error(result["knw"], result["truth"]) <= 4 * EPS

@@ -1,0 +1,51 @@
+"""E10 — Lemma 7: the O(1) natural-log lookup table.
+
+Measures (a) the worst-case relative error of the table against math.log
+over its whole domain for several K, verifying the 1/sqrt(K) guarantee,
+(b) the table's space, and (c) the lookup cost relative to math.log.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit, run_once
+
+from repro.analysis import Table, format_bits
+from repro.bitstructs import LogLookupTable
+
+BIN_SIZES = [64, 256, 1024, 4096]
+
+
+def test_loglookup_error_and_space(benchmark):
+    def experiment():
+        rows = []
+        for bins in BIN_SIZES:
+            table = LogLookupTable(bins)
+            worst = max(
+                table.relative_error(c) for c in range(1, table.max_argument + 1)
+            )
+            rows.append((bins, table.relative_accuracy, worst, table.space_bits()))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = Table(
+        "E10: log-lookup table accuracy vs the Lemma 7 guarantee",
+        ["K", "guaranteed rel. accuracy", "measured worst error", "table space"],
+    )
+    for bins, guarantee, worst, space in rows:
+        table.add_row([bins, "%.4f" % guarantee, "%.5f" % worst, format_bits(space)])
+    emit("E10: Appendix A.2 lookup table", table.render_text())
+    for bins, guarantee, worst, _ in rows:
+        assert worst <= guarantee
+
+
+def test_loglookup_query_cost(benchmark):
+    table = LogLookupTable(4096)
+    benchmark.group = "log evaluation"
+    benchmark(lambda: table.lookup(1234))
+
+
+def test_math_log_reference_cost(benchmark):
+    benchmark.group = "log evaluation"
+    benchmark(lambda: math.log(1.0 - 1234 / 4096.0))

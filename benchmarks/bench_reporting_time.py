@@ -1,0 +1,53 @@
+"""E3 — Figure 1, reporting time: cost of producing an estimate mid-stream.
+
+The paper's reporting time is O(1): the fast implementation maintains the
+occupancy count incrementally and evaluates the logarithm via the Appendix
+A.2 lookup table.  The benchmark times ``estimate()`` on warm sketches and
+checks that the fast KNW report does not scale with eps (the reference
+Figure 3 implementation recomputes nothing either, but the baselines that
+scan their registers — LogLog/HLL — do scale with 1/eps^2).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from conftest import BENCH_UNIVERSE
+
+from repro.estimators.registry import make_f0_estimator
+
+ALGORITHMS = ["knw", "knw-fast", "hyperloglog", "loglog", "kmv", "bjkst"]
+
+
+def _warm(algorithm: str, eps: float):
+    estimator = make_f0_estimator(algorithm, BENCH_UNIVERSE, eps, seed=9)
+    rng = random.Random(21)
+    for _ in range(4_000):
+        estimator.update(rng.randrange(BENCH_UNIVERSE))
+    return estimator
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_reporting_time(benchmark, algorithm):
+    estimator = _warm(algorithm, eps=0.05)
+    benchmark.group = "reporting-time eps=0.05"
+    benchmark(estimator.estimate)
+
+
+def test_fast_knw_reporting_independent_of_eps(benchmark):
+    import time
+
+    def measure(eps: float) -> float:
+        estimator = _warm("knw-fast", eps)
+        start = time.perf_counter()
+        for _ in range(300):
+            estimator.estimate()
+        return (time.perf_counter() - start) / 300
+
+    def experiment():
+        return {eps: measure(eps) for eps in (0.2, 0.05, 0.02)}
+
+    timings = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nE3 shape check: knw-fast per-report seconds by eps:", timings)
+    assert timings[0.02] < 5.0 * timings[0.2]

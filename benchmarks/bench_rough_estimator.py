@@ -1,0 +1,62 @@
+"""E5 — Theorem 1: RoughEstimator is a constant-factor approximation at all times.
+
+Feeds a growing-then-flat workload and records the ratio estimate/F0(t) at
+many checkpoints, for both the Figure 2 estimator and the Lemma 5 fast
+variant.  The paper's guarantee is a ratio in [1, 8] (resp. [1, 16]) once
+F0(t) >= K_RE simultaneously for every t; the benchmark reports the
+observed min/max ratios over the whole stream.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_UNIVERSE, emit, run_once
+
+from repro.analysis import Table
+from repro.core import FastRoughEstimator, RoughEstimator
+from repro.streams import growing_then_repeating_stream
+
+
+def _ratio_profile(estimator, stream, sample_every: int = 400):
+    seen = set()
+    ratios = []
+    for index, update in enumerate(stream):
+        estimator.update(update.item)
+        seen.add(update.item)
+        if index % sample_every == 0 and len(seen) >= 8 * estimator.counters_per_copy:
+            estimate = estimator.estimate()
+            if estimate > 0:
+                ratios.append(estimate / len(seen))
+    return ratios
+
+
+def test_rough_estimator_all_times(benchmark):
+    stream = growing_then_repeating_stream(BENCH_UNIVERSE, 25_000, 15_000, seed=31)
+
+    def experiment():
+        reference = RoughEstimator(BENCH_UNIVERSE, counters_per_copy=16, seed=5)
+        fast = FastRoughEstimator(BENCH_UNIVERSE, counters_per_copy=16, seed=5)
+        return {
+            "figure-2": _ratio_profile(reference, stream),
+            "lemma-5-fast": _ratio_profile(fast, stream),
+        }
+
+    profiles = run_once(benchmark, experiment)
+    table = Table(
+        "E5: RoughEstimator estimate / F0(t) over all checkpoints",
+        ["variant", "checkpoints", "min ratio", "max ratio"],
+    )
+    for variant, ratios in profiles.items():
+        table.add_row([
+            variant,
+            len(ratios),
+            "%.2f" % min(ratios),
+            "%.2f" % max(ratios),
+        ])
+    emit("E5: RoughEstimator constant-factor guarantee at all times", table.render_text())
+
+    for variant, ratios in profiles.items():
+        assert ratios, variant
+        # Constant-factor band (paper: [1, 8] / [1, 16] asymptotically; the
+        # finite-size check allows a factor-2 margin on each side).
+        assert min(ratios) >= 0.4, variant
+        assert max(ratios) <= 32.0, variant

@@ -1,0 +1,51 @@
+"""E9 — Theorem 11: RoughL0Estimator constant-factor approximation.
+
+Measures the ratio estimate/L0 across magnitudes of L0 and deletion
+fractions; the paper guarantees ``L0/110 <= estimate <= L0`` with
+probability at least 9/16 (with its constants), and the measured ratios
+should sit comfortably inside a constant band.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, run_once
+
+from repro.analysis import Table
+from repro.l0 import RoughL0Estimator
+from repro.streams import insert_delete_stream
+
+UNIVERSE = 1 << 14
+SUPPORTS = [100, 500, 2000, 6000]
+SEEDS = [1, 2, 3]
+
+
+def test_rough_l0_constant_factor(benchmark):
+    def experiment():
+        rows = []
+        for support in SUPPORTS:
+            ratios = []
+            for seed in SEEDS:
+                stream = insert_delete_stream(
+                    UNIVERSE, 2 * support, delete_fraction=0.5, seed=300 + seed
+                )
+                truth = stream.ground_truth()
+                rough = RoughL0Estimator(
+                    UNIVERSE, magnitude_bound=4, seed=seed, capacity=16
+                )
+                estimate = rough.process_stream(stream)
+                ratios.append(estimate / truth)
+            rows.append((support, min(ratios), max(ratios)))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = Table(
+        "E9: RoughL0Estimator estimate / L0 (deletion fraction 0.5, %d seeds)" % len(SEEDS),
+        ["true L0", "min ratio", "max ratio"],
+    )
+    for support, low, high in rows:
+        table.add_row([support, "%.3f" % low, "%.3f" % high])
+    emit("E9: RoughL0Estimator constant-factor guarantee", table.render_text())
+
+    for support, low, high in rows:
+        assert low >= 1.0 / 110.0
+        assert high <= 4.0

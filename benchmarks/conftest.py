@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark corresponds to an experiment id in DESIGN.md (E1-E12) and
+regenerates a table or guarantee the paper reports.  Macro-benchmarks (the
+table-producing ones) run their workload once via ``benchmark.pedantic`` and
+print the resulting table so it lands in ``bench_output.txt``; the
+micro-benchmarks (per-update / per-report timing) use pytest-benchmark's
+normal repeated timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Universe size shared by the benchmarks (2^20, as in DESIGN.md's E1 row).
+BENCH_UNIVERSE = 1 << 20
+
+#: Moderate universe for the heavier sweeps.
+SMALL_BENCH_UNIVERSE = 1 << 16
+
+
+def run_once(benchmark, function):
+    """Run a macro-benchmark exactly once and return its result."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited experiment report (captured by ``tee``)."""
+    banner = "=" * max(len(title), 20)
+    print("\n%s\n%s\n%s\n%s" % (banner, title, banner, body))
+
+
+@pytest.fixture(scope="session")
+def bench_universe() -> int:
+    """The universe size used by the Figure-1 style benchmarks."""
+    return BENCH_UNIVERSE

@@ -1,0 +1,55 @@
+"""Accuracy/space trade-off example: the Figure-1 comparison in miniature.
+
+Runs the KNW estimator and the main baselines over the same workload at
+several accuracy targets and prints the space each needs and the error each
+achieves — a quick interactive version of the full benchmark in
+``benchmarks/bench_figure1_space.py``.
+
+Run with::
+
+    python examples/accuracy_space_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table, accuracy_sweep, format_bits
+from repro.streams import distinct_items_stream
+
+UNIVERSE = 1 << 18
+DISTINCT = 20_000
+ALGORITHMS = ["knw", "knw-fast", "hyperloglog", "kmv", "bjkst", "linear-counting"]
+EPS_VALUES = [0.1, 0.05]
+SEEDS = [1, 2, 3]
+
+
+def main() -> None:
+    points = accuracy_sweep(
+        algorithms=ALGORITHMS,
+        stream_factory=lambda seed: distinct_items_stream(
+            UNIVERSE, DISTINCT, repetitions=2, seed=seed
+        ),
+        eps_values=EPS_VALUES,
+        seeds=SEEDS,
+    )
+    table = Table(
+        "Accuracy vs space on %d distinct items (mean of %d seeds)" % (DISTINCT, len(SEEDS)),
+        ["eps target", "algorithm", "mean rel. error", "p90 rel. error", "space"],
+    )
+    for point in points:
+        table.add_row([
+            "%.2f" % point.eps,
+            point.algorithm,
+            "%.3f" % point.summary.mean,
+            "%.3f" % point.summary.p90,
+            format_bits(int(point.mean_space_bits)),
+        ])
+    print(table.render_text())
+    print(
+        "\nReading guide: the KNW rows match the oracle-model sketches' error at"
+        "\ncomparable space while using only explicit, analysed hash functions —"
+        "\nthe trade-off the paper's Figure 1 summarises."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Data-cleaning example: finding similar columns with Hamming-norm sketches.
+
+Reproduces the paper's L0 motivation (Cormode et al., Dasu et al.): compare
+database columns by the Hamming norm of their value-multiset difference —
+robust to row order, computable in one pass per column, and usable across
+tables that cannot be joined.
+
+Run with::
+
+    python examples/data_cleaning.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import Table
+from repro.apps import SimilarColumnFinder
+
+UNIVERSE = 1 << 18
+ROWS = 5_000
+
+
+def main() -> None:
+    rng = random.Random(11)
+
+    # A "customer_id" column, an exact copy under a different name, a copy
+    # with 5% dirty rows, a shuffled copy, and an unrelated column.
+    customer_id = [rng.randrange(UNIVERSE) for _ in range(ROWS)]
+    cust_ref = list(customer_id)
+    dirty_copy = list(customer_id)
+    for position in rng.sample(range(ROWS), ROWS // 20):
+        dirty_copy[position] = rng.randrange(UNIVERSE)
+    shuffled = list(customer_id)
+    rng.shuffle(shuffled)
+    unrelated = [rng.randrange(UNIVERSE) for _ in range(ROWS)]
+
+    finder = SimilarColumnFinder(UNIVERSE, eps=0.1, seed=5)
+    finder.add_column("orders.customer_id", customer_id)
+    finder.add_column("invoices.cust_ref", cust_ref)
+    finder.add_column("legacy.cust_id_dirty", dirty_copy)
+    finder.add_column("export.customer_id_shuffled", shuffled)
+    finder.add_column("products.sku", unrelated)
+
+    table = Table("Most similar column pairs (Hamming-norm sketches)", [
+        "column A", "column B", "est. differing values", "similarity",
+    ])
+    for report in finder.most_similar_pairs(top=6):
+        table.add_row([
+            report.first,
+            report.second,
+            "%.0f" % report.hamming_estimate,
+            "%.3f" % report.similarity,
+        ])
+    print(table.render_text())
+
+    print(
+        "\nNote how the shuffled copy scores as similar as the exact copy —"
+        "\nthe Hamming norm compares value multisets, not row positions —"
+        "\nwhile the unrelated column scores near zero."
+    )
+
+    # One-pass streaming comparison without storing either column.
+    streaming_estimate = finder.pair_report_streaming(customer_id, dirty_copy)
+    exact_difference = _exact_multiset_hamming(customer_id, dirty_copy)
+    print(
+        "\nStreaming comparison of orders.customer_id vs legacy.cust_id_dirty:"
+        "\n  estimated differing values: %.0f   exact: %d"
+        % (streaming_estimate, exact_difference)
+    )
+
+
+def _exact_multiset_hamming(left, right) -> int:
+    from collections import Counter
+
+    difference = Counter(left)
+    difference.subtract(Counter(right))
+    return sum(1 for count in difference.values() if count != 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Network monitoring example: distinct flows, port-scan detection.
+
+Reproduces the paper's network-motivation scenario (Section 1): a router
+tracks distinct flows per window with a small sketch and flags sources
+whose destination fan-out explodes (port scan / worm spread signature).
+
+Run with::
+
+    python examples/network_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import FlowCardinalityMonitor
+from repro.streams import packet_trace
+
+UNIVERSE = 1 << 20
+
+
+def main() -> None:
+    # Two traffic phases: normal traffic, then the same plus a scanning host.
+    normal_stream, normal_records = packet_trace(
+        UNIVERSE, packets=30_000, distinct_flows=4_000, seed=5
+    )
+    _, scan_records = packet_trace(
+        UNIVERSE, packets=0, distinct_flows=1, scanner_destinations=1_500, seed=6
+    )
+
+    monitor = FlowCardinalityMonitor(
+        universe_size=UNIVERSE,
+        eps=0.05,
+        window_packets=10_000,
+        scan_fanout_threshold=500,
+        seed=1,
+    )
+
+    print("Phase 1: normal traffic (%d packets, %d distinct flows)" % (
+        len(normal_records), normal_stream.ground_truth()))
+    for record in normal_records:
+        report = monitor.observe(record)
+        if report is not None:
+            print(
+                "  window %d: ~%6.0f flows, ~%6.0f sources, ~%6.0f destinations, suspects: %s"
+                % (
+                    report.window_index,
+                    report.distinct_flows,
+                    report.distinct_sources,
+                    report.distinct_destinations,
+                    report.scan_suspects or "none",
+                )
+            )
+
+    print("\nPhase 2: a scanning host touches 1500 distinct destinations")
+    for record in scan_records:
+        report = monitor.observe(record)
+        if report is not None:
+            _print_scan_report(report)
+    final = monitor.flush()
+    if final is not None:
+        _print_scan_report(final)
+
+    print(
+        "\nPer-window sketch cost is a few kilobits regardless of traffic volume —"
+        "\nthe constant-space, constant-time-per-packet property the paper targets."
+    )
+
+
+def _print_scan_report(report) -> None:
+    print(
+        "  window %d: ~%6.0f flows, suspects flagged by fan-out detector: %s"
+        % (report.window_index, report.distinct_flows, report.scan_suspects or "none")
+    )
+
+
+if __name__ == "__main__":
+    main()

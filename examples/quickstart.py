@@ -1,0 +1,77 @@
+"""Quickstart: estimate the number of distinct elements in a stream.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a synthetic stream with a known number of distinct
+identifiers, feeds it to the KNW estimator (and, for comparison, the exact
+counter and HyperLogLog), and prints estimates, errors, and sketch sizes.
+It also demonstrates mid-stream reporting and sketch merging.
+"""
+
+from __future__ import annotations
+
+from repro import ExactDistinctCounter, KNWDistinctCounter, make_f0_estimator
+from repro.analysis import Table, format_bits
+from repro.streams import distinct_items_stream, duplicated_union_streams
+
+UNIVERSE = 1 << 20
+TRUE_DISTINCT = 50_000
+EPS = 0.05
+
+
+def main() -> None:
+    stream = distinct_items_stream(UNIVERSE, TRUE_DISTINCT, repetitions=2, seed=1)
+    print(
+        "Stream: %d updates, %d distinct identifiers, universe 2^20\n"
+        % (len(stream), stream.ground_truth())
+    )
+
+    # --- basic usage ---------------------------------------------------------
+    knw = KNWDistinctCounter(UNIVERSE, eps=EPS, seed=7)
+    exact = ExactDistinctCounter(UNIVERSE)
+    hll = make_f0_estimator("hyperloglog", UNIVERSE, EPS, seed=7)
+
+    table = Table("Distinct-element estimates (eps = %.2f)" % EPS, [
+        "algorithm", "estimate", "relative error", "sketch size",
+    ])
+    for estimator in (knw, exact, hll):
+        estimate = estimator.process_stream(stream)
+        error = abs(estimate - TRUE_DISTINCT) / TRUE_DISTINCT
+        table.add_row(
+            [estimator.name, "%.0f" % estimate, "%.3f" % error, format_bits(estimator.space_bits())]
+        )
+    print(table.render_text())
+
+    # --- mid-stream reporting -------------------------------------------------
+    print("\nMid-stream reporting (estimate available at any time):")
+    running = KNWDistinctCounter(UNIVERSE, eps=EPS, seed=11)
+    positions = stream.checkpoints(4)
+    truths = stream.ground_truth_at(positions)
+    cursor = 0
+    for position, truth in zip(positions, truths):
+        while cursor < position:
+            running.update(stream[cursor].item)
+            cursor += 1
+        print(
+            "  after %7d updates: estimate %8.0f   (exact %7d)"
+            % (position, running.estimate(), truth)
+        )
+
+    # --- merging sketches built over different streams -------------------------
+    left, right = duplicated_union_streams(UNIVERSE, 20_000, overlap_fraction=0.5, seed=3)
+    union_truth = left.concat(right).ground_truth()
+    sketch_a = KNWDistinctCounter(UNIVERSE, eps=EPS, seed=99)
+    sketch_b = KNWDistinctCounter(UNIVERSE, eps=EPS, seed=99)
+    sketch_a.process_stream(left)
+    sketch_b.process_stream(right)
+    sketch_a.merge(sketch_b)
+    print(
+        "\nUnion via merge: estimate %.0f vs exact %d (two sites, one combined sketch)"
+        % (sketch_a.estimate(), union_truth)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on environments without the
+``wheel`` package (offline machines where ``pip install -e .`` must fall
+back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro: a reproduction of Kane--Nelson--Woodruff, "An Optimal Algorithm
+for the Distinct Elements Problem" (PODS 2010).
+
+The package implements the paper's optimal F0 (distinct elements) streaming
+estimator, its L0 (Hamming norm) estimator for turnstile streams, every
+substrate they rely on (hash families, bit-level data structures, the
+balls-and-bins analysis quantities), the prior algorithms the paper's
+Figure 1 compares against, and an experiment harness that regenerates the
+paper's comparisons.
+
+Quickstart::
+
+    from repro import KNWDistinctCounter
+
+    counter = KNWDistinctCounter(universe_size=1 << 32, eps=0.05, seed=7)
+    for packet in packets:
+        counter.update(packet.flow_id)
+    print(counter.estimate())
+
+The main entry points are:
+
+* :class:`repro.core.knw.KNWDistinctCounter` — the paper's F0 estimator.
+* :class:`repro.core.fast_knw.FastKNWDistinctCounter` — the O(1)-time variant.
+* :class:`repro.l0.knw_l0.KNWHammingNormEstimator` — the L0 estimator.
+* :func:`repro.estimators.registry.make_f0_estimator` — any Figure-1 algorithm by name.
+* :mod:`repro.apps` — query-optimiser, network-monitoring, and data-cleaning applications.
+"""
+
+from ._version import __version__
+from .core.fast_knw import FastKNWDistinctCounter
+from .core.knw import KNWDistinctCounter
+from .core.rough_estimator import RoughEstimator
+from .estimators.base import CardinalityEstimator, TurnstileEstimator
+from .estimators.exact import ExactDistinctCounter, ExactHammingNorm
+from .estimators.median import MedianEstimator, MedianTurnstileEstimator
+from .estimators.registry import (
+    f0_algorithm_names,
+    l0_algorithm_names,
+    make_f0_estimator,
+    make_l0_estimator,
+)
+from .exceptions import (
+    MergeError,
+    ParameterError,
+    ReproError,
+    SketchFailure,
+    StreamFormatError,
+    UpdateError,
+)
+from .l0.knw_l0 import KNWHammingNormEstimator
+from .l0.rough_l0 import RoughL0Estimator
+
+__all__ = [
+    "__version__",
+    "FastKNWDistinctCounter",
+    "KNWDistinctCounter",
+    "RoughEstimator",
+    "CardinalityEstimator",
+    "TurnstileEstimator",
+    "ExactDistinctCounter",
+    "ExactHammingNorm",
+    "MedianEstimator",
+    "MedianTurnstileEstimator",
+    "f0_algorithm_names",
+    "l0_algorithm_names",
+    "make_f0_estimator",
+    "make_l0_estimator",
+    "MergeError",
+    "ParameterError",
+    "ReproError",
+    "SketchFailure",
+    "StreamFormatError",
+    "UpdateError",
+    "KNWHammingNormEstimator",
+    "RoughL0Estimator",
+]

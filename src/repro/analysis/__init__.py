@@ -1,0 +1,38 @@
+"""Experiment harness: metrics, runners, sweeps, and report tables.
+
+* :mod:`repro.analysis.metrics` — relative error, summaries, within-band rates.
+* :mod:`repro.analysis.runner` — stream -> estimator execution with checkpoints.
+* :mod:`repro.analysis.sweeps` — (algorithm, eps, seed) grids for the benchmarks.
+* :mod:`repro.analysis.tables` — Figure-1-style plain-text / Markdown tables.
+"""
+
+from .metrics import ErrorSummary, relative_error, summarize_errors, within_band_rate
+from .runner import (
+    CheckpointResult,
+    RunResult,
+    run_f0,
+    run_f0_by_name,
+    run_l0,
+    run_l0_by_name,
+)
+from .sweeps import SweepPoint, accuracy_sweep, l0_accuracy_sweep, space_sweep
+from .tables import Table, format_bits
+
+__all__ = [
+    "ErrorSummary",
+    "relative_error",
+    "summarize_errors",
+    "within_band_rate",
+    "CheckpointResult",
+    "RunResult",
+    "run_f0",
+    "run_f0_by_name",
+    "run_l0",
+    "run_l0_by_name",
+    "SweepPoint",
+    "accuracy_sweep",
+    "l0_accuracy_sweep",
+    "space_sweep",
+    "Table",
+    "format_bits",
+]

@@ -1,0 +1,104 @@
+"""Accuracy metrics for estimator evaluation.
+
+The paper's guarantees are of the form "the output is within ``(1 +/- eps)``
+of the truth with probability at least 2/3"; the corresponding empirical
+quantities are the per-trial relative error, its distribution across seeds,
+and the fraction of trials that landed inside the ``(1 +/- eps)`` band.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..exceptions import ParameterError
+
+__all__ = ["relative_error", "ErrorSummary", "summarize_errors", "within_band_rate"]
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Return ``|estimate - truth| / truth`` (0 when both are 0)."""
+    if truth < 0:
+        raise ParameterError("truth must be non-negative")
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / truth
+
+
+def within_band_rate(estimates: Sequence[float], truth: float, eps: float) -> float:
+    """Return the fraction of estimates inside ``[(1-eps) truth, (1+eps) truth]``."""
+    if not estimates:
+        raise ParameterError("within_band_rate requires at least one estimate")
+    if not eps > 0:
+        raise ParameterError("eps must be positive")
+    hits = sum(
+        1 for value in estimates if (1.0 - eps) * truth <= value <= (1.0 + eps) * truth
+    )
+    return hits / len(estimates)
+
+
+@dataclass
+class ErrorSummary:
+    """Summary statistics of relative errors across independent trials.
+
+    Attributes:
+        trials: number of trials aggregated.
+        mean: mean relative error.
+        median: median relative error.
+        p90: 90th-percentile relative error.
+        maximum: largest relative error observed.
+        rmse: root-mean-square relative error.
+        mean_bias: mean of the *signed* relative error (positive =
+            overestimation), useful for spotting biased estimators.
+    """
+
+    trials: int
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+    rmse: float
+    mean_bias: float
+
+    def as_row(self) -> List[str]:
+        """Return the summary formatted as table cells."""
+        return [
+            "%d" % self.trials,
+            "%.4f" % self.mean,
+            "%.4f" % self.median,
+            "%.4f" % self.p90,
+            "%.4f" % self.maximum,
+            "%.4f" % self.rmse,
+            "%+.4f" % self.mean_bias,
+        ]
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        raise ParameterError("percentile of empty sequence")
+    index = min(int(math.ceil(fraction * len(sorted_values))) - 1, len(sorted_values) - 1)
+    return sorted_values[max(index, 0)]
+
+
+def summarize_errors(estimates: Sequence[float], truth: float) -> ErrorSummary:
+    """Summarise relative errors of ``estimates`` against a single ``truth``."""
+    if not estimates:
+        raise ParameterError("summarize_errors requires at least one estimate")
+    if truth <= 0:
+        raise ParameterError("truth must be positive")
+    errors = sorted(relative_error(value, truth) for value in estimates)
+    signed = [(value - truth) / truth for value in estimates]
+    count = len(errors)
+    mean = sum(errors) / count
+    median = errors[count // 2] if count % 2 else (errors[count // 2 - 1] + errors[count // 2]) / 2
+    rmse = math.sqrt(sum(error * error for error in errors) / count)
+    return ErrorSummary(
+        trials=count,
+        mean=mean,
+        median=median,
+        p90=_percentile(errors, 0.9),
+        maximum=errors[-1],
+        rmse=rmse,
+        mean_bias=sum(signed) / count,
+    )

@@ -1,0 +1,143 @@
+"""Experiment runner: execute estimators over streams with checkpoints.
+
+This is the piece of glue every benchmark and example shares: given a
+stream and an estimator (or a registry name), run the stream through it,
+optionally query the estimate at mid-stream checkpoints (the paper's
+"report at any point" capability), and collect the estimate, the exact
+ground truth, the relative error, and the space consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..estimators.base import CardinalityEstimator, TurnstileEstimator
+from ..estimators.registry import make_f0_estimator, make_l0_estimator
+from ..exceptions import ParameterError, UpdateError
+from ..streams.model import MaterializedStream
+from .metrics import relative_error
+
+__all__ = ["CheckpointResult", "RunResult", "run_f0", "run_l0", "run_f0_by_name", "run_l0_by_name"]
+
+
+@dataclass
+class CheckpointResult:
+    """Estimate vs. truth at one mid-stream checkpoint."""
+
+    position: int
+    truth: int
+    estimate: float
+    relative_error: float
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one estimator over one stream.
+
+    Attributes:
+        algorithm: the estimator's declared name.
+        stream: the stream's name.
+        truth: exact F0/L0 of the full stream.
+        estimate: the estimator's final output.
+        relative_error: ``|estimate - truth| / truth``.
+        space_bits: the sketch size after the run.
+        checkpoints: optional mid-stream measurements.
+    """
+
+    algorithm: str
+    stream: str
+    truth: int
+    estimate: float
+    relative_error: float
+    space_bits: int
+    checkpoints: List[CheckpointResult] = field(default_factory=list)
+
+
+def _run(
+    estimator,
+    stream: MaterializedStream,
+    checkpoint_positions: Optional[Sequence[int]],
+    turnstile: bool,
+) -> RunResult:
+    positions = list(checkpoint_positions) if checkpoint_positions else []
+    truths = stream.ground_truth_at(positions) if positions else []
+    checkpoints: List[CheckpointResult] = []
+    next_checkpoint = 0
+    for index, update in enumerate(stream):
+        if turnstile:
+            estimator.update(update.item, update.delta)
+        else:
+            if update.delta != 1:
+                raise UpdateError(
+                    "insertion-only run received a turnstile update at position %d" % index
+                )
+            estimator.update(update.item)
+        while next_checkpoint < len(positions) and positions[next_checkpoint] == index + 1:
+            truth = truths[next_checkpoint]
+            estimate = estimator.estimate()
+            checkpoints.append(
+                CheckpointResult(
+                    position=index + 1,
+                    truth=truth,
+                    estimate=estimate,
+                    relative_error=relative_error(estimate, truth) if truth else 0.0,
+                )
+            )
+            next_checkpoint += 1
+    truth = stream.ground_truth()
+    estimate = estimator.estimate()
+    return RunResult(
+        algorithm=getattr(estimator, "name", type(estimator).__name__),
+        stream=stream.name,
+        truth=truth,
+        estimate=estimate,
+        relative_error=relative_error(estimate, truth) if truth else 0.0,
+        space_bits=estimator.space_bits(),
+        checkpoints=checkpoints,
+    )
+
+
+def run_f0(
+    estimator: CardinalityEstimator,
+    stream: MaterializedStream,
+    checkpoint_positions: Optional[Sequence[int]] = None,
+) -> RunResult:
+    """Run an insertion-only estimator over a stream."""
+    if not stream.is_insertion_only():
+        raise ParameterError("run_f0 requires an insertion-only stream")
+    return _run(estimator, stream, checkpoint_positions, turnstile=False)
+
+
+def run_l0(
+    estimator: TurnstileEstimator,
+    stream: MaterializedStream,
+    checkpoint_positions: Optional[Sequence[int]] = None,
+) -> RunResult:
+    """Run a turnstile estimator over a stream."""
+    return _run(estimator, stream, checkpoint_positions, turnstile=True)
+
+
+def run_f0_by_name(
+    name: str,
+    stream: MaterializedStream,
+    eps: float,
+    seed: Optional[int] = None,
+    checkpoint_positions: Optional[Sequence[int]] = None,
+) -> RunResult:
+    """Instantiate a registered F0 algorithm and run it over ``stream``."""
+    estimator = make_f0_estimator(name, stream.universe_size, eps, seed)
+    return run_f0(estimator, stream, checkpoint_positions)
+
+
+def run_l0_by_name(
+    name: str,
+    stream: MaterializedStream,
+    eps: float,
+    seed: Optional[int] = None,
+    checkpoint_positions: Optional[Sequence[int]] = None,
+) -> RunResult:
+    """Instantiate a registered L0 algorithm and run it over ``stream``."""
+    magnitude_bound = max(len(stream) * stream.max_update_magnitude(), 1)
+    estimator = make_l0_estimator(name, stream.universe_size, eps, magnitude_bound, seed)
+    return run_l0(estimator, stream, checkpoint_positions)

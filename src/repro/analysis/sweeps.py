@@ -1,0 +1,149 @@
+"""Parameter sweeps: the workhorse behind the accuracy and space experiments.
+
+A sweep runs a set of algorithms over a grid of ``(eps, workload, seed)``
+configurations, aggregates the per-configuration relative errors, and
+produces the rows the benchmark tables print.  It is deliberately plain
+(nested loops, explicit dataclasses) so a reader can audit exactly what was
+measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import ParameterError
+from ..streams.model import MaterializedStream
+from .metrics import ErrorSummary, summarize_errors, within_band_rate
+from .runner import run_f0_by_name, run_l0_by_name
+
+__all__ = ["SweepPoint", "accuracy_sweep", "l0_accuracy_sweep", "space_sweep"]
+
+StreamFactory = Callable[[int], MaterializedStream]
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated result of one (algorithm, eps) cell of a sweep.
+
+    Attributes:
+        algorithm: registry name of the algorithm.
+        eps: the accuracy target used to size the sketch.
+        truth: the workload's exact F0/L0.
+        summary: error statistics across seeds.
+        within_band: fraction of trials inside ``(1 +/- eps)``.
+        within_2band: fraction of trials inside ``(1 +/- 2 eps)``.
+        mean_space_bits: average sketch size across seeds.
+    """
+
+    algorithm: str
+    eps: float
+    truth: int
+    summary: ErrorSummary
+    within_band: float
+    within_2band: float
+    mean_space_bits: float
+
+
+def _aggregate(
+    algorithm: str,
+    eps: float,
+    truth: int,
+    estimates: Sequence[float],
+    spaces: Sequence[int],
+) -> SweepPoint:
+    return SweepPoint(
+        algorithm=algorithm,
+        eps=eps,
+        truth=truth,
+        summary=summarize_errors(estimates, truth),
+        within_band=within_band_rate(estimates, truth, eps),
+        within_2band=within_band_rate(estimates, truth, 2 * eps),
+        mean_space_bits=sum(spaces) / len(spaces),
+    )
+
+
+def accuracy_sweep(
+    algorithms: Sequence[str],
+    stream_factory: StreamFactory,
+    eps_values: Sequence[float],
+    seeds: Sequence[int],
+    stream_seed: int = 12345,
+) -> List[SweepPoint]:
+    """Run an F0 accuracy sweep.
+
+    Args:
+        algorithms: registry names to evaluate.
+        stream_factory: callable building the workload from a seed (the same
+            workload seed is used for every algorithm so they see identical
+            streams).
+        eps_values: accuracy targets to sweep.
+        seeds: estimator seeds (one independent trial per seed).
+        stream_seed: the workload seed.
+
+    Returns:
+        One :class:`SweepPoint` per (algorithm, eps) pair.
+    """
+    if not algorithms or not eps_values or not seeds:
+        raise ParameterError("accuracy_sweep needs algorithms, eps values, and seeds")
+    stream = stream_factory(stream_seed)
+    truth = stream.ground_truth()
+    points: List[SweepPoint] = []
+    for eps in eps_values:
+        for algorithm in algorithms:
+            estimates: List[float] = []
+            spaces: List[int] = []
+            for seed in seeds:
+                result = run_f0_by_name(algorithm, stream, eps, seed=seed)
+                estimates.append(result.estimate)
+                spaces.append(result.space_bits)
+            points.append(_aggregate(algorithm, eps, truth, estimates, spaces))
+    return points
+
+
+def l0_accuracy_sweep(
+    algorithms: Sequence[str],
+    stream_factory: StreamFactory,
+    eps_values: Sequence[float],
+    seeds: Sequence[int],
+    stream_seed: int = 12345,
+) -> List[SweepPoint]:
+    """Run an L0 accuracy sweep (same contract as :func:`accuracy_sweep`)."""
+    if not algorithms or not eps_values or not seeds:
+        raise ParameterError("l0_accuracy_sweep needs algorithms, eps values, and seeds")
+    stream = stream_factory(stream_seed)
+    truth = stream.ground_truth()
+    points: List[SweepPoint] = []
+    for eps in eps_values:
+        for algorithm in algorithms:
+            estimates: List[float] = []
+            spaces: List[int] = []
+            for seed in seeds:
+                result = run_l0_by_name(algorithm, stream, eps, seed=seed)
+                estimates.append(result.estimate)
+                spaces.append(result.space_bits)
+            points.append(_aggregate(algorithm, eps, truth, estimates, spaces))
+    return points
+
+
+def space_sweep(
+    algorithms: Sequence[str],
+    stream: MaterializedStream,
+    eps_values: Sequence[float],
+    seed: Optional[int] = 7,
+) -> Dict[str, Dict[float, int]]:
+    """Measure the sketch size of each algorithm at each eps after one run.
+
+    Returns:
+        ``{algorithm: {eps: bits}}``.
+    """
+    if not algorithms or not eps_values:
+        raise ParameterError("space_sweep needs algorithms and eps values")
+    results: Dict[str, Dict[float, int]] = {}
+    for algorithm in algorithms:
+        per_eps: Dict[float, int] = {}
+        for eps in eps_values:
+            run = run_f0_by_name(algorithm, stream, eps, seed=seed)
+            per_eps[eps] = run.space_bits
+        results[algorithm] = per_eps
+    return results

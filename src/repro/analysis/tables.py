@@ -1,0 +1,90 @@
+"""Tabular report formatting for the Figure-1-style comparisons.
+
+The benchmarks print their results in the same shape as the paper's
+Figure 1 (one row per algorithm, columns for space, time, and notes) plus
+accuracy columns the paper states in prose.  Output is plain-text aligned
+columns (readable in a terminal and in the saved ``bench_output.txt``) with
+an optional Markdown rendering for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..exceptions import ParameterError
+
+__all__ = ["Table", "format_bits"]
+
+
+def format_bits(bits: int) -> str:
+    """Render a bit count in a compact human-readable form."""
+    if bits < 0:
+        raise ParameterError("bit counts cannot be negative")
+    if bits < 1 << 13:
+        return "%d b" % bits
+    if bits < 1 << 23:
+        return "%.1f Kib" % (bits / 1024.0)
+    return "%.2f Mib" % (bits / (1024.0 * 1024.0))
+
+
+class Table:
+    """A small fixed-column table builder.
+
+    Attributes:
+        title: table caption.
+        headers: column headers.
+    """
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ParameterError("a table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self._rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append a row (cells are stringified; count must match headers)."""
+        if len(cells) != len(self.headers):
+            raise ParameterError(
+                "expected %d cells, got %d" % (len(self.headers), len(cells))
+            )
+        self._rows.append([str(cell) for cell in cells])
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """The rows added so far (stringified)."""
+        return [list(row) for row in self._rows]
+
+    def _widths(self) -> List[int]:
+        widths = [len(header) for header in self.headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        return widths
+
+    def render_text(self) -> str:
+        """Return the table as aligned plain text."""
+        widths = self._widths()
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            header.ljust(widths[index]) for index, header in enumerate(self.headers)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Return the table as GitHub-flavoured Markdown."""
+        lines = ["### %s" % self.title, ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.headers)) + "|")
+        for row in self._rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render_text()

@@ -1,0 +1,25 @@
+"""Database-domain applications built on the public estimator API.
+
+These implement the three motivating scenarios from the paper's
+introduction:
+
+* :mod:`repro.apps.query_optimizer` — distinct-value statistics for query
+  planning (selectivity and join-size estimates).
+* :mod:`repro.apps.network_monitor` — distinct flows / port-scan and
+  DDoS-spread detection on packet streams.
+* :mod:`repro.apps.data_cleaning` — similar-column discovery via
+  Hamming-norm (L0) sketches of column differences.
+"""
+
+from .data_cleaning import ColumnPairReport, SimilarColumnFinder
+from .network_monitor import FlowCardinalityMonitor, WindowReport
+from .query_optimizer import ColumnStatisticsCollector, JoinEstimate
+
+__all__ = [
+    "ColumnPairReport",
+    "SimilarColumnFinder",
+    "FlowCardinalityMonitor",
+    "WindowReport",
+    "ColumnStatisticsCollector",
+    "JoinEstimate",
+]

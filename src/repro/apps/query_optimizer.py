@@ -1,0 +1,157 @@
+"""Distinct-value (NDV) statistics for query optimisation.
+
+The paper's first motivating application (Selinger et al., Finkelstein et
+al.): a query optimiser needs the number of distinct values per column to
+estimate selectivities and choose join orders, but a full scan per column
+per statistics refresh is too expensive — a one-pass sketch per column is
+the standard fix.
+
+:class:`ColumnStatisticsCollector` maintains one KNW sketch per column of a
+table, ingests rows one at a time (one pass), and answers the two questions
+an optimiser asks:
+
+* the estimated NDV of each column (for selectivity ``1/NDV``);
+* the estimated NDV of the *union* of two columns' value sets (via sketch
+  merging), from which the classic distinct-value join-size estimate
+  ``|R| * |S| / max(NDV_R, NDV_S)`` is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.knw import KNWDistinctCounter
+from ..exceptions import ParameterError
+
+__all__ = ["ColumnStatisticsCollector", "JoinEstimate"]
+
+
+@dataclass
+class JoinEstimate:
+    """An equi-join size estimate derived from column NDV statistics.
+
+    Attributes:
+        left_rows: row count of the left relation.
+        right_rows: row count of the right relation.
+        left_ndv: estimated distinct values of the left join key.
+        right_ndv: estimated distinct values of the right join key.
+        estimated_rows: the classic ``|R| |S| / max(NDV_R, NDV_S)`` estimate.
+    """
+
+    left_rows: int
+    right_rows: int
+    left_ndv: float
+    right_ndv: float
+    estimated_rows: float
+
+
+class ColumnStatisticsCollector:
+    """One-pass NDV statistics over the columns of a table.
+
+    Attributes:
+        universe_size: size of the value universe shared by the columns.
+        eps: relative-error target of the per-column sketches.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        universe_size: int,
+        eps: float = 0.05,
+        seed: int = 1,
+    ) -> None:
+        """Create a collector.
+
+        Args:
+            columns: column names.
+            universe_size: size of the (encoded) value universe.
+            eps: relative-error target.
+            seed: base seed; every column uses the *same* seed so that the
+                per-column sketches are mergeable (needed for union NDV).
+        """
+        if not columns:
+            raise ParameterError("at least one column is required")
+        if len(set(columns)) != len(columns):
+            raise ParameterError("column names must be unique")
+        self.universe_size = universe_size
+        self.eps = eps
+        self._seed = seed
+        self._row_counts: Dict[str, int] = {name: 0 for name in columns}
+        self._sketches: Dict[str, KNWDistinctCounter] = {
+            name: KNWDistinctCounter(universe_size, eps=eps, seed=seed)
+            for name in columns
+        }
+
+    @property
+    def columns(self) -> Sequence[str]:
+        """The column names being tracked."""
+        return list(self._sketches)
+
+    def ingest_row(self, row: Dict[str, Optional[int]]) -> None:
+        """Ingest one row: a mapping from column name to encoded value.
+
+        ``None`` values (SQL NULLs) are skipped, matching how real systems
+        compute NDV statistics.
+        """
+        for column, value in row.items():
+            if column not in self._sketches:
+                raise ParameterError("unknown column %r" % column)
+            if value is None:
+                continue
+            self._sketches[column].update(value)
+            self._row_counts[column] += 1
+
+    def ingest_column(self, column: str, values: Sequence[Optional[int]]) -> None:
+        """Bulk-ingest one column's values."""
+        if column not in self._sketches:
+            raise ParameterError("unknown column %r" % column)
+        sketch = self._sketches[column]
+        for value in values:
+            if value is None:
+                continue
+            sketch.update(value)
+            self._row_counts[column] += 1
+
+    def ndv(self, column: str) -> float:
+        """Return the estimated number of distinct values of ``column``."""
+        if column not in self._sketches:
+            raise ParameterError("unknown column %r" % column)
+        return self._sketches[column].estimate()
+
+    def selectivity(self, column: str) -> float:
+        """Return the classic equality-predicate selectivity ``1 / NDV``."""
+        ndv = max(self.ndv(column), 1.0)
+        return 1.0 / ndv
+
+    def union_ndv(self, first: str, second: str) -> float:
+        """Return the estimated NDV of the union of two columns' value sets.
+
+        Implemented by merging copies of the two (same-seed) sketches, which
+        is exactly the distributed-union use case of mergeable sketches.
+        """
+        if first not in self._sketches or second not in self._sketches:
+            raise ParameterError("unknown column in union_ndv")
+        merged = KNWDistinctCounter(self.universe_size, eps=self.eps, seed=self._seed)
+        merged.merge(self._sketches[first])
+        merged.merge(self._sketches[second])
+        return merged.estimate()
+
+    def join_estimate(self, left: str, right: str) -> JoinEstimate:
+        """Return the distinct-value equi-join size estimate for two key columns."""
+        left_ndv = self.ndv(left)
+        right_ndv = self.ndv(right)
+        left_rows = self._row_counts[left]
+        right_rows = self._row_counts[right]
+        denominator = max(left_ndv, right_ndv, 1.0)
+        return JoinEstimate(
+            left_rows=left_rows,
+            right_rows=right_rows,
+            left_ndv=left_ndv,
+            right_ndv=right_ndv,
+            estimated_rows=left_rows * right_rows / denominator,
+        )
+
+    def space_bits(self) -> int:
+        """Return the total statistics footprint in bits (all column sketches)."""
+        return sum(sketch.space_bits() for sketch in self._sketches.values())

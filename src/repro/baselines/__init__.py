@@ -1,0 +1,40 @@
+"""Baseline F0 estimators: the comparison rows of the paper's Figure 1.
+
+| Module | Figure 1 row | Hash model |
+|---|---|---|
+| :mod:`repro.baselines.flajolet_martin` | [20] Flajolet--Martin 1985 | random oracle |
+| :mod:`repro.baselines.ams` | [3] Alon--Matias--Szegedy | pairwise |
+| :mod:`repro.baselines.gibbons_tirthapura` | [24] Gibbons--Tirthapura | pairwise |
+| :mod:`repro.baselines.kmv` | [5]/[6] bottom-k (Bar-Yossef et al. / Beyer et al.) | pairwise |
+| :mod:`repro.baselines.bjkst` | [4] Bar-Yossef et al. Algorithms II/III | pairwise |
+| :mod:`repro.baselines.loglog` | [16] Durand--Flajolet LogLog | random oracle |
+| :mod:`repro.baselines.linear_counting` | [17] Estan--Varghese--Fisk bitmaps | random oracle |
+| :mod:`repro.baselines.hyperloglog` | [19] HyperLogLog | random oracle |
+
+The KNW algorithms themselves live in :mod:`repro.core`; the turnstile
+(L0) baseline of Ganguly lives in :mod:`repro.l0.ganguly`.
+"""
+
+from .ams import AMSDistinctEstimator
+from .bjkst import BJKSTSampler
+from .flajolet_martin import FlajoletMartinPCSA
+from .gibbons_tirthapura import GibbonsTirthapuraSampler
+from .hyperloglog import HyperLogLogCounter, hll_registers_for_eps
+from .kmv import KMinimumValues, kmv_size_for_eps
+from .linear_counting import LinearCounter, MultiScaleBitmapCounter
+from .loglog import LogLogCounter, registers_for_eps
+
+__all__ = [
+    "AMSDistinctEstimator",
+    "BJKSTSampler",
+    "FlajoletMartinPCSA",
+    "GibbonsTirthapuraSampler",
+    "HyperLogLogCounter",
+    "hll_registers_for_eps",
+    "KMinimumValues",
+    "kmv_size_for_eps",
+    "LinearCounter",
+    "MultiScaleBitmapCounter",
+    "LogLogCounter",
+    "registers_for_eps",
+]

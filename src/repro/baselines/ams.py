@@ -1,0 +1,112 @@
+"""Alon--Matias--Szegedy F0 estimation (STOC 1996 / JCSS 1999).
+
+The second row of Figure 1: ``O(log n)`` bits, ``O(log n)`` update time,
+constant-factor error only (the AMS construction estimates F0 to within a
+factor of ~2-5 with constant probability; it cannot be tuned to
+``(1 +/- eps)``).  Its contribution was removing the random-oracle
+assumption of Flajolet--Martin by using pairwise independent hashing.
+
+The estimator tracks ``R = max_i rho(h(i))`` (the deepest lsb of a pairwise
+hash over the stream) per repetition and outputs the median of ``2^{R+1/2}``.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from typing import List, Optional
+
+from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import CardinalityEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.bitops import lsb
+from ..hashing.universal import PairwiseHash
+
+__all__ = ["AMSDistinctEstimator"]
+
+
+class AMSDistinctEstimator(CardinalityEstimator):
+    """Median-of-repetitions AMS F0 estimator (constant-factor accuracy).
+
+    Attributes:
+        universe_size: the universe size ``n``.
+        repetitions: number of independent max-rho trackers.
+    """
+
+    name = "alon-matias-szegedy"
+    requires_random_oracle = False
+
+    def __init__(
+        self,
+        universe_size: int,
+        repetitions: int = 15,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Create the estimator.
+
+        Args:
+            universe_size: the universe size ``n`` (at least 2).
+            repetitions: number of independent hash functions (odd keeps the
+                median a sample value).
+            seed: RNG seed.
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        if repetitions <= 0:
+            raise ParameterError("repetitions must be positive")
+        self.universe_size = universe_size
+        self.repetitions = repetitions
+        self.seed = seed
+        rng = random.Random(seed)
+        self._level_limit = max((universe_size - 1).bit_length(), 1)
+        self._hashes: List[PairwiseHash] = [
+            PairwiseHash(universe_size, universe_size, rng=rng)
+            for _ in range(repetitions)
+        ]
+        self._max_rho: List[int] = [-1] * repetitions
+
+    def update(self, item: int) -> None:
+        """Track the maximum rho value under each hash function."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        for index, hash_function in enumerate(self._hashes):
+            rho = lsb(hash_function(item), zero_value=self._level_limit)
+            if rho > self._max_rho[index]:
+                self._max_rho[index] = rho
+
+    def estimate(self) -> float:
+        """Return the median over repetitions of ``2^{R + 1/2}``."""
+        values = [
+            0.0 if rho < 0 else 2.0 ** (rho + 0.5) for rho in self._max_rho
+        ]
+        return float(statistics.median(values))
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """Take the element-wise maximum of the rho trackers (same seed required)."""
+        if not isinstance(other, AMSDistinctEstimator):
+            raise MergeError("can only merge AMSDistinctEstimator with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.repetitions != self.repetitions
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError("AMS sketches must share parameters and an explicit seed")
+        self._max_rho = [
+            max(mine, theirs) for mine, theirs in zip(self._max_rho, other._max_rho)
+        ]
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost."""
+        breakdown = SpaceBreakdown(self.name)
+        rho_bits = max(self._level_limit.bit_length(), 1)
+        breakdown.add("max-rho-registers", self.repetitions * rho_bits)
+        for index, hash_function in enumerate(self._hashes):
+            breakdown.add("hash-%d" % index, hash_function.space_bits())
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the estimator's space in bits."""
+        return self.space_breakdown().total()

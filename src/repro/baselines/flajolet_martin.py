@@ -1,0 +1,115 @@
+"""Flajolet--Martin probabilistic counting (PCSA), FOCS 1983 / JCSS 1985.
+
+The first row of the paper's Figure 1: ``O(log n)`` bits per sketch,
+random-oracle model, constant relative error (the error decreases as
+``0.78/sqrt(m)`` with ``m`` sketches under stochastic averaging).
+
+Each of ``m`` bitmaps records, for the items routed to it, the set of
+``rho`` values (position of the lowest set bit of the hash) observed.  The
+estimate is ``m * 2^{mean lowest-unset-position} / 0.77351``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..bitstructs.bitvector import BitVector
+from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import CardinalityEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.bitops import lsb
+from ..hashing.random_oracle import RandomOracle
+
+__all__ = ["FlajoletMartinPCSA"]
+
+#: The magic constant phi of the Flajolet--Martin analysis.
+_PHI = 0.77351
+
+
+class FlajoletMartinPCSA(CardinalityEstimator):
+    """Probabilistic Counting with Stochastic Averaging.
+
+    Attributes:
+        universe_size: the universe size ``n``.
+        maps: number of bitmaps (stochastic-averaging groups).
+    """
+
+    name = "flajolet-martin"
+    requires_random_oracle = True
+
+    def __init__(
+        self,
+        universe_size: int,
+        maps: int = 64,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Create the sketch.
+
+        Args:
+            universe_size: the universe size ``n`` (at least 2).
+            maps: number of bitmaps; the standard error is roughly
+                ``0.78 / sqrt(maps)``.
+            seed: RNG seed (shared-seed sketches are mergeable).
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        if maps <= 0:
+            raise ParameterError("maps must be positive")
+        self.universe_size = universe_size
+        self.maps = maps
+        self.seed = seed
+        rng = random.Random(seed)
+        self._bits = max((universe_size - 1).bit_length(), 1) + 4
+        oracle_seed = rng.randrange(1 << 62) if seed is not None else None
+        self._oracle = RandomOracle(universe_size, 1 << (self._bits + 8), seed=oracle_seed)
+        self._bitmaps: List[BitVector] = [BitVector(self._bits) for _ in range(maps)]
+
+    def update(self, item: int) -> None:
+        """Hash the item, route it to a bitmap, and record its rho value."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        value = self._oracle(item)
+        bitmap = self._bitmaps[value % self.maps]
+        remainder = value // self.maps
+        rho = lsb(remainder, zero_value=self._bits - 1)
+        bitmap.set(min(rho, self._bits - 1), 1)
+
+    def _lowest_unset(self, bitmap: BitVector) -> int:
+        for position in range(bitmap.length):
+            if not bitmap.get(position):
+                return position
+        return bitmap.length
+
+    def estimate(self) -> float:
+        """Return ``maps * 2^{mean R} / phi`` where R is the lowest unset position."""
+        total = sum(self._lowest_unset(bitmap) for bitmap in self._bitmaps)
+        mean = total / self.maps
+        return self.maps * (2.0 ** mean) / _PHI
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """OR together the bitmaps of two same-seed sketches."""
+        if not isinstance(other, FlajoletMartinPCSA):
+            raise MergeError("can only merge FlajoletMartinPCSA with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.maps != self.maps
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError("PCSA sketches must share parameters and an explicit seed")
+        for mine, theirs in zip(self._bitmaps, other._bitmaps):
+            mine.union_update(theirs)
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost (oracle charged at 0 bits, as in the model)."""
+        breakdown = SpaceBreakdown(self.name)
+        breakdown.add("bitmaps", self.maps * self._bits)
+        breakdown.add_component("random-oracle", self._oracle)
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the sketch's space in bits (random oracle not charged)."""
+        return self.space_breakdown().total()

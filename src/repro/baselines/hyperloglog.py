@@ -1,0 +1,142 @@
+"""HyperLogLog (Flajolet, Fusy, Gandouet, Meunier 2007).
+
+The Figure 1 row ``[19]``: ``O(eps^-2 log log n + log n)`` bits in the
+random-oracle model, standard error ``~1.04/sqrt(m)``.  It shares its
+register state with LogLog but replaces the geometric-mean estimator with
+the harmonic mean, plus the standard small- and large-range corrections.
+
+This is the algorithm "everywhere" in practice; the benchmarks use it as
+the main practical yardstick for the KNW estimator.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..bitstructs.packed import PackedCounterArray
+from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import CardinalityEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.bitops import is_power_of_two, lsb
+from ..hashing.random_oracle import RandomOracle
+
+__all__ = ["HyperLogLogCounter", "hll_registers_for_eps"]
+
+
+def hll_registers_for_eps(eps: float) -> int:
+    """Return the register count whose standard error is about ``eps`` (1.04/sqrt m)."""
+    if not 0.0 < eps < 1.0:
+        raise ParameterError("eps must lie in (0, 1)")
+    raw = (1.04 / eps) ** 2
+    return 1 << max(int(math.ceil(math.log2(raw))), 4)
+
+
+def _alpha(m: int) -> float:
+    """Return the HyperLogLog bias-correction constant alpha_m."""
+    if m <= 16:
+        return 0.673
+    if m <= 32:
+        return 0.697
+    if m <= 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HyperLogLogCounter(CardinalityEstimator):
+    """The HyperLogLog cardinality estimator (random-oracle model).
+
+    Attributes:
+        universe_size: the universe size ``n``.
+        registers: number of registers ``m`` (a power of two).
+    """
+
+    name = "hyperloglog"
+    requires_random_oracle = True
+
+    def __init__(
+        self,
+        universe_size: int,
+        eps: float = 0.05,
+        registers: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Create the counter.
+
+        Args:
+            universe_size: the universe size ``n`` (at least 2).
+            eps: target standard error (sets the register count).
+            registers: explicit register count (power of two); overrides ``eps``.
+            seed: RNG seed.
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        self.universe_size = universe_size
+        self.registers = registers if registers is not None else hll_registers_for_eps(eps)
+        if not is_power_of_two(self.registers) or self.registers < 16:
+            raise ParameterError("registers must be a power of two, at least 16")
+        self.seed = seed
+        rng = random.Random(seed)
+        self._register_bits = self.registers.bit_length() - 1
+        hash_bits = max((universe_size - 1).bit_length(), 1) + 8
+        self._value_bits = hash_bits
+        oracle_seed = rng.randrange(1 << 62) if seed is not None else None
+        self._oracle = RandomOracle(
+            universe_size, 1 << (self._register_bits + hash_bits), seed=oracle_seed
+        )
+        register_width = max(math.ceil(math.log2(self._value_bits + 2)), 1)
+        self._registers = PackedCounterArray(self.registers, register_width)
+
+    def update(self, item: int) -> None:
+        """Route the item to a register and record max(rho)."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        value = self._oracle(item)
+        register = value & (self.registers - 1)
+        remainder = value >> self._register_bits
+        rho = lsb(remainder, zero_value=self._value_bits - 1) + 1
+        self._registers.maximize(register, min(rho, (1 << self._registers.width) - 1))
+
+    def estimate(self) -> float:
+        """Return the bias-corrected harmonic-mean estimate."""
+        m = self.registers
+        inverse_sum = 0.0
+        zero_registers = 0
+        for index in range(m):
+            value = self._registers.get(index)
+            if value == 0:
+                zero_registers += 1
+            inverse_sum += 2.0 ** (-value)
+        raw = _alpha(m) * m * m / inverse_sum
+        if raw <= 2.5 * m and zero_registers > 0:
+            # Small-range correction: fall back to linear counting.
+            return m * math.log(m / zero_registers)
+        return raw
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """Take the register-wise maximum of two same-seed counters."""
+        if not isinstance(other, HyperLogLogCounter):
+            raise MergeError("can only merge HyperLogLogCounter with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.registers != self.registers
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError("HLL counters must share parameters and an explicit seed")
+        for index in range(self.registers):
+            self._registers.maximize(index, other._registers.get(index))
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost."""
+        breakdown = SpaceBreakdown(self.name)
+        breakdown.add_component("registers", self._registers)
+        breakdown.add_component("random-oracle", self._oracle)
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the counter's space in bits (random oracle not charged)."""
+        return self.space_breakdown().total()

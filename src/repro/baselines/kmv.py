@@ -1,0 +1,149 @@
+"""k-minimum-values (bottom-k) estimation.
+
+Bar-Yossef et al. (RANDOM 2002) Algorithm I — the Figure 1 row with
+``O(eps^-2 log n)`` space and ``O(eps^-2)`` update time — keeps the ``k``
+smallest hash values seen, for ``k = Theta(1/eps^2)``, and estimates F0 as
+``(k - 1) * range / (k-th smallest value)``.  Beyer et al. (SIGMOD 2007,
+Figure 1 row ``[6]``) refine the same sketch with an unbiased estimator and
+multiset-operation support; both estimators are exposed here.
+
+Only pairwise independence is required, so this baseline — unlike
+LogLog/HLL — competes with KNW on equal hash-model footing, just with a
+``log n`` factor more space.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import CardinalityEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.universal import PairwiseHash
+
+__all__ = ["KMinimumValues", "kmv_size_for_eps"]
+
+
+def kmv_size_for_eps(eps: float) -> int:
+    """Return ``k = ceil(1/eps^2)`` (minimum 16)."""
+    if not 0.0 < eps < 1.0:
+        raise ParameterError("eps must lie in (0, 1)")
+    return max(16, int(math.ceil(1.0 / (eps * eps))))
+
+
+class KMinimumValues(CardinalityEstimator):
+    """Bottom-k sketch over a pairwise-independent hash.
+
+    Attributes:
+        universe_size: the universe size ``n``.
+        k: number of minimum hash values retained.
+    """
+
+    name = "kmv"
+    requires_random_oracle = False
+
+    def __init__(
+        self,
+        universe_size: int,
+        eps: float = 0.05,
+        k: Optional[int] = None,
+        seed: Optional[int] = None,
+        unbiased: bool = True,
+    ) -> None:
+        """Create the sketch.
+
+        Args:
+            universe_size: the universe size ``n`` (at least 2).
+            eps: target relative error (sets ``k`` when not given).
+            k: explicit sketch size.
+            seed: RNG seed.
+            unbiased: use the Beyer et al. unbiased estimator
+                ``(k - 1) / U_(k)`` instead of Bar-Yossef et al.'s
+                ``k / U_(k)``.
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        self.universe_size = universe_size
+        self.k = k if k is not None else kmv_size_for_eps(eps)
+        if self.k < 2:
+            raise ParameterError("k must be at least 2")
+        self.seed = seed
+        self.unbiased = unbiased
+        rng = random.Random(seed)
+        # Hash into a range cubically larger than the universe so that the
+        # k smallest values are distinct w.h.p. (collisions would bias the
+        # order statistics).
+        self._hash_range = max(universe_size ** 3, 1 << 30)
+        self._hash = PairwiseHash(universe_size, self._hash_range, rng=rng)
+        self._values: List[int] = []  # sorted ascending, at most k entries
+        self._members = set()
+
+    def update(self, item: int) -> None:
+        """Insert the item's hash value into the bottom-k set."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        value = self._hash(item)
+        if value in self._members:
+            return
+        if len(self._values) < self.k:
+            self._members.add(value)
+            self._insert(value)
+            return
+        if value >= self._values[-1]:
+            return
+        evicted = self._values.pop()
+        self._members.discard(evicted)
+        self._members.add(value)
+        self._insert(value)
+
+    def _insert(self, value: int) -> None:
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._values.insert(lo, value)
+
+    def estimate(self) -> float:
+        """Return the order-statistics estimate of F0."""
+        if len(self._values) < self.k:
+            # Fewer than k distinct values seen: the sketch holds them all.
+            return float(len(self._values))
+        kth = self._values[-1]
+        if kth == 0:
+            return float(len(self._values))
+        numerator = (self.k - 1) if self.unbiased else self.k
+        return numerator * self._hash_range / kth
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """Union two same-seed sketches and re-truncate to the bottom k."""
+        if not isinstance(other, KMinimumValues):
+            raise MergeError("can only merge KMinimumValues with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.k != self.k
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError("KMV sketches must share parameters and an explicit seed")
+        combined = sorted(set(self._values) | set(other._values))[: self.k]
+        self._values = combined
+        self._members = set(combined)
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost: ``k`` hash values of ``O(log n)`` bits."""
+        breakdown = SpaceBreakdown(self.name)
+        value_bits = max((self._hash_range - 1).bit_length(), 1)
+        breakdown.add("bottom-k-values", self.k * value_bits)
+        breakdown.add_component("hash", self._hash)
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the sketch's space in bits."""
+        return self.space_breakdown().total()

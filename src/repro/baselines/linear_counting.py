@@ -1,0 +1,195 @@
+"""Linear counting / bitmap estimation (Whang et al.; Estan--Varghese--Fisk).
+
+The Figure 1 row ``[17]`` (Estan et al.): a bitmap of ``b`` bits, each item
+hashed to one bit; the estimate inverts the occupancy,
+``b * ln(b / zeros)``.  Space is ``O(eps^-2 log n)`` when a single bitmap
+must cover the full cardinality range (Estan et al. use multi-scale
+bitmaps to mitigate this; the simple and the multiscale variants are both
+provided).  The analysis assumes a random oracle.
+
+Linear counting is also exactly the statistical core of the KNW small-F0
+subroutine and of each row of the Figure 4 matrix, so this module is the
+natural baseline for isolating what KNW's subsampling machinery adds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..bitstructs.bitvector import BitVector
+from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import CardinalityEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.random_oracle import RandomOracle
+
+__all__ = ["LinearCounter", "MultiScaleBitmapCounter"]
+
+
+class LinearCounter(CardinalityEstimator):
+    """A single-bitmap linear counter.
+
+    Attributes:
+        universe_size: the universe size ``n``.
+        bits: bitmap size ``b``.
+    """
+
+    name = "linear-counting"
+    requires_random_oracle = True
+
+    def __init__(
+        self,
+        universe_size: int,
+        bits: int,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Create the counter.
+
+        Args:
+            universe_size: the universe size ``n`` (at least 2).
+            bits: bitmap size; accuracy degrades as the load ``F0/bits``
+                grows beyond a few units, and the estimator saturates when
+                every bit is set.
+            seed: RNG seed.
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        if bits <= 1:
+            raise ParameterError("bits must be at least 2")
+        self.universe_size = universe_size
+        self.bits = bits
+        self.seed = seed
+        rng = random.Random(seed)
+        oracle_seed = rng.randrange(1 << 62) if seed is not None else None
+        self._oracle = RandomOracle(universe_size, bits, seed=oracle_seed)
+        self._bitmap = BitVector(bits)
+
+    def update(self, item: int) -> None:
+        """Set the item's bit."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        self._bitmap.set(self._oracle(item), 1)
+
+    def estimate(self) -> float:
+        """Return ``b * ln(b / zeros)`` (saturating when no zeros remain)."""
+        zeros = self._bitmap.count_zeros()
+        if zeros == 0:
+            # Saturated: the bitmap carries no more information; report the
+            # value at one remaining zero, the conventional saturation cap.
+            zeros = 1
+        return self.bits * math.log(self.bits / zeros)
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """OR the bitmaps of two same-seed counters."""
+        if not isinstance(other, LinearCounter):
+            raise MergeError("can only merge LinearCounter with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.bits != self.bits
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError("linear counters must share parameters and an explicit seed")
+        self._bitmap.union_update(other._bitmap)
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost."""
+        breakdown = SpaceBreakdown(self.name)
+        breakdown.add_component("bitmap", self._bitmap)
+        breakdown.add_component("random-oracle", self._oracle)
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the counter's space in bits (random oracle not charged)."""
+        return self.space_breakdown().total()
+
+
+class MultiScaleBitmapCounter(CardinalityEstimator):
+    """Estan-style multiresolution bitmap: one bitmap per sampling scale.
+
+    Items are subsampled geometrically across ``scales`` bitmaps (bitmap
+    ``s`` sees an item with probability ``2^-s``); reporting picks the
+    densest non-saturated bitmap and scales its linear-counting estimate.
+    This removes the single-bitmap saturation problem at the cost of a
+    ``log n`` factor in space — the configuration whose space column the
+    paper's Figure 1 cites as ``O(eps^-2 log n)``.
+    """
+
+    name = "multiscale-bitmap"
+    requires_random_oracle = True
+
+    def __init__(
+        self,
+        universe_size: int,
+        bits_per_scale: int,
+        scales: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Create the counter.
+
+        Args:
+            universe_size: the universe size ``n`` (at least 2).
+            bits_per_scale: bitmap size at each scale (``Theta(1/eps^2)``).
+            scales: number of scales; defaults to ``log2(n) + 1``.
+            seed: RNG seed.
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        if bits_per_scale <= 1:
+            raise ParameterError("bits_per_scale must be at least 2")
+        self.universe_size = universe_size
+        self.bits_per_scale = bits_per_scale
+        self.scales = scales if scales is not None else max((universe_size - 1).bit_length(), 1) + 1
+        if self.scales <= 0:
+            raise ParameterError("scales must be positive")
+        self.seed = seed
+        rng = random.Random(seed)
+        oracle_seed = rng.randrange(1 << 62) if seed is not None else None
+        # One oracle supplies both the scale (low bits) and the bit position.
+        self._oracle = RandomOracle(
+            universe_size, (1 << self.scales) * bits_per_scale, seed=oracle_seed
+        )
+        self._bitmaps: List[BitVector] = [
+            BitVector(bits_per_scale) for _ in range(self.scales)
+        ]
+
+    def update(self, item: int) -> None:
+        """Route the item to its sampling scale and set its bit there."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        value = self._oracle(item)
+        scale_part = value % (1 << self.scales)
+        position = value // (1 << self.scales)
+        scale = 0
+        while scale < self.scales - 1 and (scale_part >> scale) & 1:
+            scale += 1
+        self._bitmaps[scale].set(position % self.bits_per_scale, 1)
+
+    def estimate(self) -> float:
+        """Pick the first scale below ~70% occupancy and scale its estimate."""
+        saturation = 0.7 * self.bits_per_scale
+        for scale, bitmap in enumerate(self._bitmaps):
+            ones = bitmap.count_ones()
+            if ones <= saturation:
+                zeros = bitmap.count_zeros()
+                if zeros == 0:
+                    zeros = 1
+                linear = self.bits_per_scale * math.log(self.bits_per_scale / zeros)
+                return float(1 << (scale + 1)) * linear
+        return float(self.bits_per_scale) * (1 << self.scales)
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost."""
+        breakdown = SpaceBreakdown(self.name)
+        breakdown.add("bitmaps", self.scales * self.bits_per_scale)
+        breakdown.add_component("random-oracle", self._oracle)
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the counter's space in bits (random oracle not charged)."""
+        return self.space_breakdown().total()

@@ -1,0 +1,127 @@
+"""Durand--Flajolet LogLog counting (ESA 2003).
+
+The Figure 1 row ``[16]``: ``O(eps^-2 log log n)`` bits (plus the random
+oracle), additive/relative error ``~1.3/sqrt(m)`` with ``m`` registers.
+Each register stores the maximum ``rho`` (1 + position of the lowest set
+bit) of the items routed to it — i.e. exactly the quantity the KNW
+counters store, which is why the paper describes its own counter state as
+"identical as in the LogLog and HyperLogLog algorithms" up to the choice of
+estimator and hash model.
+
+The estimate is ``alpha_m * m * 2^{mean register}``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..bitstructs.packed import PackedCounterArray
+from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import CardinalityEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.bitops import is_power_of_two, lsb
+from ..hashing.random_oracle import RandomOracle
+
+__all__ = ["LogLogCounter", "registers_for_eps"]
+
+
+def registers_for_eps(eps: float, constant: float = 1.30) -> int:
+    """Return the register count whose standard error is about ``eps``.
+
+    LogLog's standard error is ``~1.30/sqrt(m)``; the result is rounded up
+    to a power of two so register routing is a bit-slice of the hash.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ParameterError("eps must lie in (0, 1)")
+    raw = (constant / eps) ** 2
+    return 1 << max(int(math.ceil(math.log2(raw))), 2)
+
+
+class LogLogCounter(CardinalityEstimator):
+    """The LogLog cardinality estimator (random-oracle model).
+
+    Attributes:
+        universe_size: the universe size ``n``.
+        registers: number of registers ``m`` (a power of two).
+    """
+
+    name = "loglog"
+    requires_random_oracle = True
+
+    def __init__(
+        self,
+        universe_size: int,
+        eps: float = 0.05,
+        registers: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Create the counter.
+
+        Args:
+            universe_size: the universe size ``n`` (at least 2).
+            eps: target standard error (sets the register count).
+            registers: explicit register count (power of two); overrides ``eps``.
+            seed: RNG seed.
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        self.universe_size = universe_size
+        self.registers = registers if registers is not None else registers_for_eps(eps)
+        if not is_power_of_two(self.registers):
+            raise ParameterError("registers must be a power of two")
+        self.seed = seed
+        rng = random.Random(seed)
+        self._register_bits = self.registers.bit_length() - 1
+        hash_bits = max((universe_size - 1).bit_length(), 1) + 8
+        self._value_bits = hash_bits
+        oracle_seed = rng.randrange(1 << 62) if seed is not None else None
+        self._oracle = RandomOracle(universe_size, 1 << (self._register_bits + hash_bits), seed=oracle_seed)
+        register_width = max(math.ceil(math.log2(self._value_bits + 2)), 1)
+        self._registers = PackedCounterArray(self.registers, register_width)
+        # alpha_m for the LogLog estimator (the m -> infinity constant).
+        self._alpha = 0.39701
+
+    def update(self, item: int) -> None:
+        """Route the item to a register and record max(rho)."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        value = self._oracle(item)
+        register = value & (self.registers - 1)
+        remainder = value >> self._register_bits
+        rho = lsb(remainder, zero_value=self._value_bits - 1) + 1
+        self._registers.maximize(register, min(rho, (1 << self._registers.width) - 1))
+
+    def estimate(self) -> float:
+        """Return ``alpha * m * 2^{mean register}``."""
+        total = sum(self._registers.get(index) for index in range(self.registers))
+        mean = total / self.registers
+        return self._alpha * self.registers * (2.0 ** mean)
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """Take the register-wise maximum of two same-seed counters."""
+        if not isinstance(other, LogLogCounter):
+            raise MergeError("can only merge LogLogCounter with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.registers != self.registers
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError("LogLog counters must share parameters and an explicit seed")
+        for index in range(self.registers):
+            self._registers.maximize(index, other._registers.get(index))
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost (``m`` registers of log log n bits)."""
+        breakdown = SpaceBreakdown(self.name)
+        breakdown.add_component("registers", self._registers)
+        breakdown.add_component("random-oracle", self._oracle)
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the counter's space in bits (random oracle not charged)."""
+        return self.space_breakdown().total()

@@ -1,0 +1,41 @@
+"""Bit-level data-structure substrate for the KNW reproduction.
+
+* :mod:`repro.bitstructs.bitvector` — packed bitvector (small-F0 bits,
+  linear counting, bitmatrix rows).
+* :mod:`repro.bitstructs.bitmatrix` — the ``log(n) x K`` matrix of the
+  Figure 4 skeleton.
+* :mod:`repro.bitstructs.vla` — variable-bit-length array
+  (Blandford--Blelloch, paper Theorem 8) for the bit-packed offset counters.
+* :mod:`repro.bitstructs.packed` — fixed-width packed counter arrays
+  (RoughEstimator counters, LogLog/HLL registers).
+* :mod:`repro.bitstructs.loglookup` — O(1) natural-log lookup table
+  (Appendix A.2, Lemma 7).
+* :mod:`repro.bitstructs.space` — the ``space_bits()`` protocol and
+  space-budget helpers used by the Figure-1 space benchmark.
+"""
+
+from .bitmatrix import BitMatrix
+from .bitvector import BitVector
+from .loglookup import LogLookupTable
+from .packed import PackedCounterArray
+from .space import (
+    SizedBits,
+    SpaceBreakdown,
+    bits_for_counter,
+    bits_for_value,
+    total_space_bits,
+)
+from .vla import VariableBitLengthArray
+
+__all__ = [
+    "BitMatrix",
+    "BitVector",
+    "LogLookupTable",
+    "PackedCounterArray",
+    "SizedBits",
+    "SpaceBreakdown",
+    "bits_for_counter",
+    "bits_for_value",
+    "total_space_bits",
+    "VariableBitLengthArray",
+]

@@ -1,0 +1,124 @@
+"""The ``log(n) x K`` bitmatrix of the Figure 4 algorithm skeleton.
+
+The conceptual starting point of both KNW algorithms is a bitmatrix ``A``
+with one row per subsampling level (``log n`` rows) and one column per bin
+(``K = 1/eps^2`` columns).  An update for item ``i`` sets
+``A[lsb(h1(i)), h3(h2(i))] = 1``; the estimator reads the row indexed by
+the rough estimate and inverts the balls-and-bins occupancy.
+
+The space-optimal F0 algorithm (Figure 3) never materialises this matrix —
+it collapses each column to the deepest set row, stored as an offset — but
+the matrix itself is still needed:
+
+* as the reference implementation (:mod:`repro.core.skeleton`) against
+  which the collapsed representation is tested for agreement;
+* as the scaffold of the L0 algorithm, where each cell becomes a
+  fingerprint counter (Lemma 6) instead of a bit;
+* for the ablation benchmark measuring the space cost of *not* collapsing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..exceptions import ParameterError
+from .bitvector import BitVector
+
+__all__ = ["BitMatrix"]
+
+
+class BitMatrix:
+    """A dense 2-D bit array with O(1) get/set.
+
+    Attributes:
+        rows: number of rows (subsampling levels).
+        columns: number of columns (bins).
+    """
+
+    __slots__ = ("rows", "columns", "_rows")
+
+    def __init__(self, rows: int, columns: int) -> None:
+        """Create an all-zero ``rows x columns`` bitmatrix.
+
+        Args:
+            rows: number of rows; must be positive.
+            columns: number of columns; must be positive.
+        """
+        if rows <= 0:
+            raise ParameterError("BitMatrix rows must be positive")
+        if columns <= 0:
+            raise ParameterError("BitMatrix columns must be positive")
+        self.rows = rows
+        self.columns = columns
+        self._rows = [BitVector(columns) for _ in range(rows)]
+
+    def get(self, row: int, column: int) -> int:
+        """Return the bit at ``(row, column)``."""
+        self._check_row(row)
+        return self._rows[row].get(column)
+
+    def set(self, row: int, column: int, value: int = 1) -> None:
+        """Set the bit at ``(row, column)`` to ``value``."""
+        self._check_row(row)
+        self._rows[row].set(column, value)
+
+    def row(self, row: int) -> BitVector:
+        """Return the underlying :class:`BitVector` for ``row`` (not a copy)."""
+        self._check_row(row)
+        return self._rows[row]
+
+    def row_ones(self, row: int) -> int:
+        """Return the number of set bits in ``row`` (the ``T`` of the estimator)."""
+        self._check_row(row)
+        return self._rows[row].count_ones()
+
+    def column_deepest_row(self, column: int) -> int:
+        """Return the largest row index with a set bit in ``column``, or -1.
+
+        This is exactly the quantity the collapsed representation of
+        Figure 3 stores per column (before offsetting by ``b``), so tests
+        can check the two representations agree.
+        """
+        if not 0 <= column < self.columns:
+            raise ParameterError(
+                "column %d outside [0, %d)" % (column, self.columns)
+            )
+        for row in range(self.rows - 1, -1, -1):
+            if self._rows[row].get(column):
+                return row
+        return -1
+
+    def union_update(self, other: "BitMatrix") -> None:
+        """OR another bitmatrix of identical shape into this one (sketch merge)."""
+        if not isinstance(other, BitMatrix):
+            raise ParameterError("union_update expects a BitMatrix")
+        if (other.rows, other.columns) != (self.rows, self.columns):
+            raise ParameterError("cannot union BitMatrices of different shapes")
+        for row in range(self.rows):
+            self._rows[row].union_update(other._rows[row])
+
+    def iter_ones(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(row, column)`` pairs of set bits."""
+        for row_index, row in enumerate(self._rows):
+            for column in row.iter_ones():
+                yield (row_index, column)
+
+    def total_ones(self) -> int:
+        """Return the total number of set bits in the matrix."""
+        return sum(row.count_ones() for row in self._rows)
+
+    def space_bits(self) -> int:
+        """Return the space cost: ``rows * columns`` bits.
+
+        This is the ``O(eps^-2 log n)`` figure the paper's introduction
+        quotes for the naive bitmatrix scheme — the number the collapsed
+        representation of Figure 3 improves on.
+        """
+        return self.rows * self.columns
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ParameterError("row %d outside [0, %d)" % (row, self.rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "BitMatrix(rows=%d, columns=%d)" % (self.rows, self.columns)

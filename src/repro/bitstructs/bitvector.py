@@ -1,0 +1,131 @@
+"""Packed bitvector.
+
+Used by the small-F0 subroutine of Section 3.3 (the ``2K`` bits
+``B_1 ... B_{K'}``), by the Estan-style linear-counting baseline, and as
+the row storage of :class:`repro.bitstructs.bitmatrix.BitMatrix`.
+
+The implementation packs bits into a Python ``bytearray`` so that the
+declared space cost (``length`` bits, rounded up to bytes) matches what a
+word-RAM implementation would use, and all operations touch a constant
+number of bytes per call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..exceptions import ParameterError
+
+__all__ = ["BitVector"]
+
+
+class BitVector:
+    """A fixed-length array of bits with O(1) get/set.
+
+    Attributes:
+        length: the number of bits in the vector.
+    """
+
+    __slots__ = ("length", "_bytes", "_ones")
+
+    def __init__(self, length: int) -> None:
+        """Create an all-zero bitvector of ``length`` bits.
+
+        Args:
+            length: number of bits; must be positive.
+        """
+        if length <= 0:
+            raise ParameterError("BitVector length must be positive")
+        self.length = length
+        self._bytes = bytearray((length + 7) // 8)
+        self._ones = 0
+
+    def get(self, index: int) -> int:
+        """Return bit ``index`` (0 or 1)."""
+        self._check_index(index)
+        return (self._bytes[index >> 3] >> (index & 7)) & 1
+
+    def set(self, index: int, value: int = 1) -> None:
+        """Set bit ``index`` to ``value`` (0 or 1)."""
+        self._check_index(index)
+        if value not in (0, 1):
+            raise ParameterError("bit value must be 0 or 1")
+        byte_index = index >> 3
+        mask = 1 << (index & 7)
+        current = (self._bytes[byte_index] & mask) != 0
+        if value and not current:
+            self._bytes[byte_index] |= mask
+            self._ones += 1
+        elif not value and current:
+            self._bytes[byte_index] &= ~mask & 0xFF
+            self._ones -= 1
+
+    def clear(self) -> None:
+        """Reset every bit to zero."""
+        for i in range(len(self._bytes)):
+            self._bytes[i] = 0
+        self._ones = 0
+
+    def count_ones(self) -> int:
+        """Return the number of set bits (maintained incrementally, O(1))."""
+        return self._ones
+
+    def count_zeros(self) -> int:
+        """Return the number of clear bits."""
+        return self.length - self._ones
+
+    def union_update(self, other: "BitVector") -> None:
+        """OR another bitvector of the same length into this one.
+
+        This is the merge operation for bitmap sketches (two linear-counting
+        or small-F0 structures built with the same hash functions combine by
+        bitwise OR).
+        """
+        if not isinstance(other, BitVector):
+            raise ParameterError("union_update expects a BitVector")
+        if other.length != self.length:
+            raise ParameterError("cannot union BitVectors of different lengths")
+        ones = 0
+        for i in range(len(self._bytes)):
+            merged = self._bytes[i] | other._bytes[i]
+            self._bytes[i] = merged
+            ones += bin(merged).count("1")
+        self._ones = ones
+
+    def iter_ones(self) -> Iterator[int]:
+        """Yield the indices of the set bits in increasing order."""
+        for index in range(self.length):
+            if self.get(index):
+                yield index
+
+    def to_list(self) -> list:
+        """Return the bits as a list of 0/1 integers (mainly for tests)."""
+        return [self.get(i) for i in range(self.length)]
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitVector":
+        """Build a bitvector from an iterable of 0/1 values."""
+        values = list(bits)
+        if not values:
+            raise ParameterError("cannot build an empty BitVector")
+        vector = cls(len(values))
+        for index, value in enumerate(values):
+            if value:
+                vector.set(index, 1)
+        return vector
+
+    def space_bits(self) -> int:
+        """Return the space cost: one bit per position."""
+        return self.length
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.length:
+            raise ParameterError(
+                "bit index %d outside [0, %d)" % (index, self.length)
+            )
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "BitVector(length=%d, ones=%d)" % (self.length, self._ones)

@@ -1,0 +1,134 @@
+"""Fixed-width packed counter arrays.
+
+Several components need an array of small counters whose width is known in
+advance: RoughEstimator keeps ``K_RE`` counters of ``O(log log n)`` bits
+each (they store lsb levels, which never exceed ``log n``), LogLog and
+HyperLogLog keep registers of ``log log n`` bits, and the L0 small-case
+recovery keeps counters modulo a small prime.  Packing them at their true
+width is what makes the paper's ``O(K_RE log log n) = O(log n)`` accounting
+real, so this module provides a packed array that charges exactly
+``length * width`` bits.
+
+Values are stored inside a Python integer used as a bit buffer; get/set
+touch O(1) words of that buffer in the word-RAM model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..exceptions import ParameterError
+
+__all__ = ["PackedCounterArray"]
+
+
+class PackedCounterArray:
+    """An array of ``length`` unsigned counters of ``width`` bits each.
+
+    Attributes:
+        length: number of counters.
+        width: bits per counter.
+    """
+
+    __slots__ = ("length", "width", "_mask", "_buffer")
+
+    def __init__(self, length: int, width: int, initial_value: int = 0) -> None:
+        """Create the array with every counter equal to ``initial_value``.
+
+        Args:
+            length: number of counters; must be positive.
+            width: bits per counter; must be positive.
+            initial_value: starting value; must fit in ``width`` bits.
+        """
+        if length <= 0:
+            raise ParameterError("PackedCounterArray length must be positive")
+        if width <= 0:
+            raise ParameterError("PackedCounterArray width must be positive")
+        self.length = length
+        self.width = width
+        self._mask = (1 << width) - 1
+        if not 0 <= initial_value <= self._mask:
+            raise ParameterError(
+                "initial value %d does not fit in %d bits" % (initial_value, width)
+            )
+        self._buffer = 0
+        if initial_value:
+            pattern = initial_value
+            for index in range(length):
+                self._buffer |= pattern << (index * width)
+
+    def get(self, index: int) -> int:
+        """Return counter ``index``."""
+        self._check_index(index)
+        return (self._buffer >> (index * self.width)) & self._mask
+
+    def set(self, index: int, value: int) -> None:
+        """Set counter ``index`` to ``value`` (must fit in ``width`` bits)."""
+        self._check_index(index)
+        if not 0 <= value <= self._mask:
+            raise ParameterError(
+                "value %d does not fit in %d bits" % (value, self.width)
+            )
+        shift = index * self.width
+        self._buffer &= ~(self._mask << shift)
+        self._buffer |= value << shift
+
+    def maximize(self, index: int, value: int) -> int:
+        """Set counter ``index`` to ``max(current, value)`` and return the result.
+
+        This is the single operation RoughEstimator and the register-based
+        baselines perform per update, so it is provided as a primitive.
+        """
+        current = self.get(index)
+        if value > current:
+            self.set(index, value)
+            return value
+        return current
+
+    def fill(self, value: int) -> None:
+        """Set every counter to ``value``."""
+        if not 0 <= value <= self._mask:
+            raise ParameterError(
+                "value %d does not fit in %d bits" % (value, self.width)
+            )
+        self._buffer = 0
+        if value:
+            for index in range(self.length):
+                self._buffer |= value << (index * self.width)
+
+    def count_at_least(self, threshold: int) -> int:
+        """Return how many counters are >= ``threshold``.
+
+        RoughEstimator's estimator needs ``T_r = |{i : C_i >= r}|``; this is
+        the bulk form of that query.
+        """
+        return sum(1 for index in range(self.length) if self.get(index) >= threshold)
+
+    def to_list(self) -> List[int]:
+        """Return the counters as a plain list (mainly for tests)."""
+        return [self.get(index) for index in range(self.length)]
+
+    @classmethod
+    def from_values(cls, values: Iterable[int], width: int) -> "PackedCounterArray":
+        """Build a packed array holding ``values`` at the given width."""
+        materialised = list(values)
+        array = cls(len(materialised), width)
+        for index, value in enumerate(materialised):
+            array.set(index, value)
+        return array
+
+    def space_bits(self) -> int:
+        """Return the space cost: ``length * width`` bits."""
+        return self.length * self.width
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.length:
+            raise ParameterError(
+                "index %d outside [0, %d)" % (index, self.length)
+            )
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "PackedCounterArray(length=%d, width=%d)" % (self.length, self.width)

@@ -1,0 +1,85 @@
+"""Space-accounting helpers.
+
+The headline claim of the paper is a *space* bound — ``O(eps^-2 + log n)``
+bits — so this reproduction needs a consistent way to measure how many bits
+each estimator occupies in the word-RAM model the paper uses (as opposed to
+Python object overhead, which would swamp every comparison with interpreter
+constants).
+
+Every sketch, hash function, and bit structure in the library exposes a
+``space_bits()`` method returning its cost in the paper's accounting.  This
+module defines the small protocol around that convention plus helpers for
+aggregating and pretty-printing space budgets, which the Figure-1 benchmark
+uses to regenerate the paper's space column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Protocol, Tuple, runtime_checkable
+
+__all__ = ["SizedBits", "SpaceBreakdown", "bits_for_value", "bits_for_counter", "total_space_bits"]
+
+
+@runtime_checkable
+class SizedBits(Protocol):
+    """Protocol for objects that can report their size in bits."""
+
+    def space_bits(self) -> int:
+        """Return the object's size in bits under word-RAM accounting."""
+        ...
+
+
+def bits_for_value(value: int) -> int:
+    """Return the number of bits needed to write ``value`` in binary.
+
+    Zero is charged one bit (a stored zero still occupies a cell).
+    """
+    return max(value.bit_length(), 1)
+
+
+def bits_for_counter(maximum_value: int) -> int:
+    """Return the bits needed for a counter whose value never exceeds ``maximum_value``."""
+    return max(maximum_value.bit_length(), 1)
+
+
+def total_space_bits(components: Iterable[SizedBits]) -> int:
+    """Return the summed ``space_bits()`` of an iterable of components."""
+    return sum(component.space_bits() for component in components)
+
+
+@dataclass
+class SpaceBreakdown:
+    """An itemised space budget for one estimator.
+
+    Attributes:
+        name: human-readable estimator name.
+        items: ordered (component name, bits) pairs.
+    """
+
+    name: str
+    items: List[Tuple[str, int]] = field(default_factory=list)
+
+    def add(self, component_name: str, bits: int) -> None:
+        """Append a component to the breakdown."""
+        self.items.append((component_name, int(bits)))
+
+    def add_component(self, component_name: str, component: SizedBits) -> None:
+        """Append a ``SizedBits`` component, reading its ``space_bits()``."""
+        self.add(component_name, component.space_bits())
+
+    def total(self) -> int:
+        """Return the total number of bits across all components."""
+        return sum(bits for _, bits in self.items)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the breakdown as a component-name -> bits mapping."""
+        return dict(self.items)
+
+    def render(self) -> str:
+        """Return a human-readable multi-line rendering of the breakdown."""
+        lines = ["%s: %d bits total" % (self.name, self.total())]
+        width = max((len(name) for name, _ in self.items), default=0)
+        for component_name, bits in self.items:
+            lines.append("  %-*s %10d bits" % (width, component_name, bits))
+        return "\n".join(lines)

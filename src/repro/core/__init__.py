@@ -1,0 +1,59 @@
+"""The paper's primary contribution: the optimal F0 estimation algorithm.
+
+* :mod:`repro.core.balls_bins` — the Section 2 balls-and-bins quantities
+  (Fact 1, Lemmas 1-3) and the inversion estimator.
+* :mod:`repro.core.hashes` — the shared (h1, h2, h3) hash bundle.
+* :mod:`repro.core.rough_estimator` — Figure 2 / Theorem 1 (and the O(1)
+  variant of Lemma 5).
+* :mod:`repro.core.small_f0` — the Section 3.3 small-F0 subroutine.
+* :mod:`repro.core.knw` — the Figure 3 sketch and the complete
+  ``KNWDistinctCounter`` (Theorems 2-4).
+* :mod:`repro.core.fast_knw` — the time-optimal implementation of
+  Section 3.4 (Theorem 9).
+* :mod:`repro.core.skeleton` — the uncompressed Figure 4 bitmatrix
+  reference implementation.
+"""
+
+from .balls_bins import (
+    OccupancyTrial,
+    expected_occupied_bins,
+    invert_occupancy,
+    occupancy_estimate_is_valid,
+    occupancy_statistics,
+    occupancy_variance_bound,
+    simulate_occupancy,
+)
+from .fast_knw import FastKNWDistinctCounter, FastKNWSketch
+from .hashes import F0HashBundle
+from .knw import KNWDistinctCounter, KNWFigure3Sketch, bins_for_eps
+from .rough_estimator import (
+    OCCUPANCY_THRESHOLD_RHO,
+    FastRoughEstimator,
+    RoughEstimator,
+    rough_counter_count,
+)
+from .skeleton import BitMatrixSkeleton
+from .small_f0 import EXACT_TRACKING_LIMIT, SmallF0Estimator
+
+__all__ = [
+    "OccupancyTrial",
+    "expected_occupied_bins",
+    "invert_occupancy",
+    "occupancy_estimate_is_valid",
+    "occupancy_statistics",
+    "occupancy_variance_bound",
+    "simulate_occupancy",
+    "FastKNWDistinctCounter",
+    "FastKNWSketch",
+    "F0HashBundle",
+    "KNWDistinctCounter",
+    "KNWFigure3Sketch",
+    "bins_for_eps",
+    "OCCUPANCY_THRESHOLD_RHO",
+    "FastRoughEstimator",
+    "RoughEstimator",
+    "rough_counter_count",
+    "BitMatrixSkeleton",
+    "EXACT_TRACKING_LIMIT",
+    "SmallF0Estimator",
+]

@@ -1,0 +1,199 @@
+"""Balls-and-bins quantities used by the KNW estimators (Section 2).
+
+The accuracy of the main estimator rests on the behaviour of the classic
+random process "throw A balls into K bins and count the occupied bins":
+
+* **Fact 1**: ``E[X] = K (1 - (1 - 1/K)^A)`` for a truly random assignment.
+* **Lemma 1**: ``Var[X] < 4 A^2 / K`` when ``100 <= A <= K/20``.
+* **Lemmas 2-3**: with only ``2(k+1)``-wise independence for
+  ``k = Theta(log(K/eps)/log log(K/eps))`` the expectation is preserved to
+  ``(1 +/- eps)`` and the variance to an additive ``eps^2``, so Chebyshev
+  still gives concentration.
+
+The estimator itself *inverts* Fact 1: observing ``T`` occupied bins, the
+ball count is estimated as ``ln(1 - T/K) / ln(1 - 1/K)``, which is the
+expression in Step 7 of Figure 3.
+
+This module provides those quantities in closed form plus a simulation
+helper (used by the Lemma 2/3 benchmark and the hypothesis tests) that
+measures the occupancy distribution under any hash family.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "expected_occupied_bins",
+    "occupancy_variance_bound",
+    "invert_occupancy",
+    "occupancy_estimate_is_valid",
+    "OccupancyTrial",
+    "simulate_occupancy",
+]
+
+
+def expected_occupied_bins(balls: int, bins: int) -> float:
+    """Return ``E[X] = K (1 - (1 - 1/K)^A)`` (the paper's Fact 1).
+
+    Args:
+        balls: the number of balls ``A`` (>= 0).
+        bins: the number of bins ``K`` (>= 1).
+    """
+    if balls < 0:
+        raise ParameterError("balls must be non-negative")
+    if bins < 1:
+        raise ParameterError("bins must be positive")
+    return bins * (1.0 - (1.0 - 1.0 / bins) ** balls)
+
+
+def occupancy_variance_bound(balls: int, bins: int) -> float:
+    """Return the paper's Lemma 1 variance bound ``4 A^2 / K``.
+
+    The bound is stated for ``100 <= A <= K/20``; outside that window the
+    returned value is still ``4 A^2 / K`` but callers should not rely on it
+    being an upper bound (the property test checks it only inside the
+    stated window).
+    """
+    if balls < 0:
+        raise ParameterError("balls must be non-negative")
+    if bins < 1:
+        raise ParameterError("bins must be positive")
+    return 4.0 * balls * balls / bins
+
+
+def invert_occupancy(occupied: int, bins: int) -> float:
+    """Estimate the number of balls from the number of occupied bins.
+
+    This is the estimator of Figure 3 Step 7 (without the ``2^b`` scaling):
+    ``ln(1 - T/K) / ln(1 - 1/K)``.
+
+    Args:
+        occupied: the observed number of occupied bins ``T`` (``0 <= T <= K``).
+        bins: the number of bins ``K``.
+
+    Returns:
+        The estimated ball count.  ``T = K`` (every bin occupied) carries no
+        information about the ball count beyond "large"; the function
+        returns the value for ``T = K - 1`` in that case, which is the
+        conventional saturation behaviour of occupancy-based estimators
+        (the KNW parameterisation keeps ``T`` near ``K/32`` so saturation
+        never occurs in the analysed regime).
+    """
+    if bins < 2:
+        raise ParameterError("bins must be at least 2")
+    if not 0 <= occupied <= bins:
+        raise ParameterError("occupied must lie in [0, bins]")
+    if occupied == 0:
+        return 0.0
+    effective = min(occupied, bins - 1)
+    return math.log(1.0 - effective / bins) / math.log(1.0 - 1.0 / bins)
+
+
+def occupancy_estimate_is_valid(balls: int, bins: int) -> bool:
+    """Return True when (A, K) lies in the regime Lemma 3 analyses.
+
+    Lemma 3 requires ``100 <= A <= K/20`` with ``K = 1/eps^2``; the full
+    algorithm arranges (via subsampling) for the surviving ball count to
+    land in this window.
+    """
+    return 100 <= balls <= bins / 20
+
+
+@dataclass
+class OccupancyTrial:
+    """Result of one simulated balls-into-bins experiment.
+
+    Attributes:
+        balls: number of balls thrown.
+        bins: number of bins.
+        occupied: number of bins that received at least one ball.
+        inverted_estimate: ball-count estimate from :func:`invert_occupancy`.
+    """
+
+    balls: int
+    bins: int
+    occupied: int
+    inverted_estimate: float
+
+
+def simulate_occupancy(
+    balls: int,
+    bins: int,
+    trials: int,
+    hash_factory: Optional[Callable[[random.Random], Callable[[int], int]]] = None,
+    seed: Optional[int] = None,
+) -> List[OccupancyTrial]:
+    """Simulate the balls-and-bins process under a supplied hash family.
+
+    Args:
+        balls: number of balls per trial.
+        bins: number of bins.
+        trials: number of independent trials.
+        hash_factory: a callable that, given a ``random.Random``, returns a
+            function mapping ball index to bin.  When omitted, a truly
+            random assignment is used (the Fact 1 / Lemma 1 reference
+            behaviour).  Passing a factory that draws a
+            :class:`repro.hashing.kwise.KWiseHash` reproduces the limited
+            independence setting of Lemma 2.
+        seed: RNG seed for reproducibility.
+
+    Returns:
+        One :class:`OccupancyTrial` per trial.
+    """
+    if balls < 0:
+        raise ParameterError("balls must be non-negative")
+    if bins < 1:
+        raise ParameterError("bins must be positive")
+    if trials <= 0:
+        raise ParameterError("trials must be positive")
+    rng = random.Random(seed)
+    results: List[OccupancyTrial] = []
+    for _ in range(trials):
+        if hash_factory is None:
+            assignment: Callable[[int], int] = lambda ball: rng.randrange(bins)
+        else:
+            assignment = hash_factory(rng)
+        hit = set()
+        for ball in range(balls):
+            hit.add(assignment(ball))
+        occupied = len(hit)
+        results.append(
+            OccupancyTrial(
+                balls=balls,
+                bins=bins,
+                occupied=occupied,
+                inverted_estimate=invert_occupancy(occupied, bins) if bins >= 2 else float(occupied),
+            )
+        )
+    return results
+
+
+def occupancy_statistics(trials: Sequence[OccupancyTrial]) -> dict:
+    """Return mean/variance summaries of a batch of occupancy trials.
+
+    Provided for the Lemma 2/3 benchmark, which compares these empirical
+    moments against Fact 1 and the Lemma 1 bound under different hash
+    families.
+    """
+    if not trials:
+        raise ParameterError("occupancy_statistics requires at least one trial")
+    occupied = [trial.occupied for trial in trials]
+    estimates = [trial.inverted_estimate for trial in trials]
+    count = len(trials)
+    mean_occupied = sum(occupied) / count
+    mean_estimate = sum(estimates) / count
+    var_occupied = sum((value - mean_occupied) ** 2 for value in occupied) / count
+    return {
+        "trials": count,
+        "mean_occupied": mean_occupied,
+        "variance_occupied": var_occupied,
+        "mean_estimate": mean_estimate,
+        "expected_occupied": expected_occupied_bins(trials[0].balls, trials[0].bins),
+        "variance_bound": occupancy_variance_bound(trials[0].balls, trials[0].bins),
+    }

@@ -1,0 +1,139 @@
+"""The Figure 4 algorithm skeleton: the uncompressed bitmatrix estimator.
+
+Figure 4 of the paper presents the conceptual scheme both KNW algorithms
+instantiate: maintain a ``log(n) x K`` bitmatrix ``A``; on an update for
+item ``i`` set ``A[lsb(h1(i)), h3(h2(i))] = 1``; given an oracle
+constant-factor approximation ``R`` of F0, read row
+``i* = log(16 R / K)`` and output ``(32 R / K) * ln(1 - T/K)/ln(1 - 1/K)``
+where ``T`` is the number of ones in that row.
+
+The space-optimal algorithm of Figure 3 is "just a space-optimised
+implementation of this approach" (Section 4), so this class serves as the
+reference implementation the compressed sketch is tested against, as the
+scaffold the L0 algorithm replaces bit-by-bit with fingerprint counters,
+and as the ablation point measuring what the compression saves (experiment
+E12).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional, Union
+
+from ..bitstructs.bitmatrix import BitMatrix
+from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import CardinalityEstimator
+from ..exceptions import ParameterError
+from .balls_bins import invert_occupancy
+from .hashes import F0HashBundle
+from .knw import bins_for_eps
+from .rough_estimator import RoughEstimator
+
+__all__ = ["BitMatrixSkeleton"]
+
+#: Type of the oracle supplying R: either a fixed value or a callable
+#: returning the current rough estimate.
+OracleType = Union[float, Callable[[], float]]
+
+
+class BitMatrixSkeleton(CardinalityEstimator):
+    """The uncompressed Figure 4 estimator.
+
+    Attributes:
+        universe_size: the universe size ``n``.
+        bins: the number of columns ``K``.
+    """
+
+    name = "knw-bitmatrix-skeleton"
+    requires_random_oracle = False
+
+    def __init__(
+        self,
+        universe_size: int,
+        eps: float = 0.05,
+        bins: Optional[int] = None,
+        seed: Optional[int] = None,
+        oracle: Optional[OracleType] = None,
+    ) -> None:
+        """Create the skeleton estimator.
+
+        Args:
+            universe_size: the universe size ``n`` (at least 2).
+            eps: relative-error target (sets ``K`` when ``bins`` is omitted).
+            bins: explicit column count ``K``.
+            seed: RNG seed for the hash bundle and internal RoughEstimator.
+            oracle: the source of the constant-factor approximation ``R``
+                required by Step 4 of Figure 4.  May be a fixed number
+                (e.g. the exact F0, for tests isolating the estimator), a
+                callable returning the current value, or ``None`` to use an
+                internally maintained :class:`RoughEstimator` — the
+                configuration the real algorithms use.
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        self.universe_size = universe_size
+        self.bins = bins if bins is not None else bins_for_eps(eps)
+        rng = random.Random(seed)
+        self.hashes = F0HashBundle(
+            universe_size, self.bins, eps_hint=eps, seed=rng.randrange(1 << 62)
+        )
+        rows = self.hashes.level_limit + 1
+        self.matrix = BitMatrix(rows, self.bins)
+        self._external_oracle = oracle
+        self._rough: Optional[RoughEstimator] = None
+        if oracle is None:
+            self._rough = RoughEstimator(universe_size, seed=rng.randrange(1 << 62))
+
+    def update(self, item: int) -> None:
+        """Set the bit at (level of the item, bin of the item)."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        level = self.hashes.level(item)
+        column = self.hashes.main_bin(item)
+        self.matrix.set(min(level, self.matrix.rows - 1), column, 1)
+        if self._rough is not None:
+            self._rough.update(item)
+
+    def _oracle_value(self) -> float:
+        if self._rough is not None:
+            return self._rough.estimate()
+        if callable(self._external_oracle):
+            return float(self._external_oracle())
+        return float(self._external_oracle)  # type: ignore[arg-type]
+
+    def estimate(self) -> float:
+        """Return the Figure 4 estimate.
+
+        The row index is ``max(0, round(log2(16 R / K)))`` and the output
+        is ``(32 R / K) * ln(1 - T/K) / ln(1 - 1/K)``.  Because row ``r``
+        holds the items whose level is *exactly* ``r`` (subsampling
+        probability ``2^-(r+1)``), the scaling factor is ``2^(r+1)``, which
+        equals the paper's ``32 R / K`` at ``r = log(16 R / K)``.  When the
+        oracle has not committed yet (``R <= 0``) row 0 is used, which is
+        the natural small-stream behaviour.
+        """
+        oracle = self._oracle_value()
+        if oracle <= 0:
+            row = 0
+        else:
+            row = int(round(math.log2(max(16.0 * oracle / self.bins, 1.0))))
+            row = min(max(row, 0), self.matrix.rows - 1)
+        scale = float(1 << (row + 1))
+        occupied = self.matrix.row_ones(row)
+        return scale * invert_occupancy(occupied, self.bins)
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost (the point of Figure 3 is that this is large)."""
+        breakdown = SpaceBreakdown(self.name)
+        breakdown.add_component("bitmatrix", self.matrix)
+        breakdown.add("hash-bundle", self.hashes.space_bits())
+        if self._rough is not None:
+            breakdown.add("rough-estimator", self._rough.space_bits())
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the estimator's total space in bits."""
+        return self.space_breakdown().total()

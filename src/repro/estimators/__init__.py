@@ -1,0 +1,28 @@
+"""Estimator framework: abstract interfaces, exact references, amplification.
+
+* :mod:`repro.estimators.base` — the F0 / L0 estimator interfaces and the
+  merge protocol.
+* :mod:`repro.estimators.exact` — exact (linear-space) references.
+* :mod:`repro.estimators.median` — median-of-repetitions amplification.
+* :mod:`repro.estimators.registry` — name -> factory registry used by the
+  experiment harness and the Figure-1 benchmarks.
+"""
+
+from .base import CardinalityEstimator, TurnstileEstimator, describe_estimator
+from .exact import ExactDistinctCounter, ExactHammingNorm
+from .median import (
+    MedianEstimator,
+    MedianTurnstileEstimator,
+    repetitions_for_failure_probability,
+)
+
+__all__ = [
+    "CardinalityEstimator",
+    "TurnstileEstimator",
+    "describe_estimator",
+    "ExactDistinctCounter",
+    "ExactHammingNorm",
+    "MedianEstimator",
+    "MedianTurnstileEstimator",
+    "repetitions_for_failure_probability",
+]

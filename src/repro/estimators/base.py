@@ -1,0 +1,137 @@
+"""Abstract interfaces shared by every cardinality estimator in the library.
+
+Two estimator families exist, mirroring the paper's two problems:
+
+* :class:`CardinalityEstimator` — insertion-only F0 estimation: the sketch
+  sees item identifiers and estimates the number of distinct identifiers.
+* :class:`TurnstileEstimator` — L0 (Hamming norm) estimation: the sketch
+  sees signed updates ``(i, v)`` and estimates the number of coordinates
+  with non-zero frequency.
+
+Both expose ``estimate()`` which may be called at any time mid-stream
+(the paper's "reporting" operation) and ``space_bits()`` for the word-RAM
+space accounting used by the Figure-1 benchmark.  Insertion-only sketches
+additionally support ``merge`` when two sketches share parameters and
+seeds, which the union-of-streams application relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional
+
+from ..exceptions import MergeError, UpdateError
+from ..streams.model import MaterializedStream, Update
+
+__all__ = ["CardinalityEstimator", "TurnstileEstimator", "describe_estimator"]
+
+
+class CardinalityEstimator(abc.ABC):
+    """Base class for insertion-only distinct-elements (F0) estimators."""
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    name: str = "cardinality-estimator"
+
+    #: Whether the analysis of this estimator assumes a random oracle
+    #: (a truly random hash function).  Mirrors the "Notes" column of the
+    #: paper's Figure 1 and is surfaced in the comparison tables.
+    requires_random_oracle: bool = False
+
+    @abc.abstractmethod
+    def update(self, item: int) -> None:
+        """Process one stream item (an identifier in ``[0, n)``)."""
+
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """Return the current estimate of the number of distinct items."""
+
+    @abc.abstractmethod
+    def space_bits(self) -> int:
+        """Return the sketch size in bits under word-RAM accounting."""
+
+    # -- optional capabilities -----------------------------------------------------
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """Merge another sketch of the same type/parameters/seed into this one.
+
+        Subclasses that support merging override this; the default refuses.
+        """
+        raise MergeError("%s does not support merging" % type(self).__name__)
+
+    # -- convenience ----------------------------------------------------------------
+
+    def update_many(self, items: Iterable[int]) -> None:
+        """Feed every identifier from an iterable to :meth:`update`."""
+        for item in items:
+            self.update(item)
+
+    def process_stream(self, stream: MaterializedStream) -> float:
+        """Feed an entire insertion-only stream and return the final estimate.
+
+        Raises:
+            UpdateError: if the stream contains deletions.
+        """
+        for update in stream:
+            if update.delta != 1:
+                raise UpdateError(
+                    "insertion-only estimator %s received delta %d"
+                    % (self.name, update.delta)
+                )
+            self.update(update.item)
+        return self.estimate()
+
+
+class TurnstileEstimator(abc.ABC):
+    """Base class for turnstile L0 (Hamming norm) estimators."""
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    name: str = "turnstile-estimator"
+
+    #: Whether the estimator requires all frequencies to stay non-negative
+    #: (true for Ganguly's algorithm, false for KNW's).
+    requires_nonnegative_frequencies: bool = False
+
+    @abc.abstractmethod
+    def update(self, item: int, delta: int) -> None:
+        """Apply the update ``x_item += delta``."""
+
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """Return the current estimate of ``|{i : x_i != 0}|``."""
+
+    @abc.abstractmethod
+    def space_bits(self) -> int:
+        """Return the sketch size in bits under word-RAM accounting."""
+
+    # -- convenience ----------------------------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        """Apply one :class:`repro.streams.model.Update`."""
+        self.update(update.item, update.delta)
+
+    def process_stream(self, stream: MaterializedStream) -> float:
+        """Feed an entire turnstile stream and return the final estimate."""
+        for update in stream:
+            self.update(update.item, update.delta)
+        return self.estimate()
+
+
+def describe_estimator(estimator: object) -> str:
+    """Return a one-line description of an estimator for reports.
+
+    Includes the class name, the declared algorithm name, the current space
+    in bits, and whether the analysis assumes a random oracle.
+    """
+    name = getattr(estimator, "name", type(estimator).__name__)
+    space: Optional[int]
+    try:
+        space = estimator.space_bits()  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - defensive; all estimators implement it
+        space = None
+    oracle = getattr(estimator, "requires_random_oracle", False)
+    pieces = [str(name)]
+    if space is not None:
+        pieces.append("%d bits" % space)
+    if oracle:
+        pieces.append("random-oracle model")
+    return ", ".join(pieces)

@@ -1,0 +1,99 @@
+"""Exact reference estimators.
+
+These keep the full state the streaming algorithms are designed to avoid —
+a hash set of seen identifiers for F0, the full frequency dictionary for
+L0 — and therefore use linear space.  They exist as ground truth for tests
+and benchmarks (the paper's lower-bound discussion is exactly that exact
+computation requires linear space, so the space benchmark includes them to
+show what the sketches are saving).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .base import CardinalityEstimator, TurnstileEstimator
+
+__all__ = ["ExactDistinctCounter", "ExactHammingNorm"]
+
+
+class ExactDistinctCounter(CardinalityEstimator):
+    """Exact F0 via a set of seen identifiers (linear space, zero error)."""
+
+    name = "exact-f0"
+
+    def __init__(self, universe_size: int) -> None:
+        """Create the counter.
+
+        Args:
+            universe_size: size of the identifier universe (used only for
+                space accounting — ``log2(n)`` bits per stored identifier).
+        """
+        self.universe_size = max(universe_size, 2)
+        self._seen: Set[int] = set()
+
+    def update(self, item: int) -> None:
+        """Record one identifier."""
+        self._seen.add(item)
+
+    def estimate(self) -> float:
+        """Return the exact number of distinct identifiers seen."""
+        return float(len(self._seen))
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """Union the seen-sets of two exact counters."""
+        if not isinstance(other, ExactDistinctCounter):
+            from ..exceptions import MergeError
+
+            raise MergeError("can only merge ExactDistinctCounter with its own kind")
+        self._seen |= other._seen
+
+    def space_bits(self) -> int:
+        """Return ``|seen| * ceil(log2(n))`` bits — the linear-space cost."""
+        id_bits = max((self.universe_size - 1).bit_length(), 1)
+        return max(len(self._seen), 1) * id_bits
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._seen
+
+
+class ExactHammingNorm(TurnstileEstimator):
+    """Exact L0 via the full frequency dictionary (linear space, zero error)."""
+
+    name = "exact-l0"
+
+    def __init__(self, universe_size: int) -> None:
+        """Create the counter.
+
+        Args:
+            universe_size: size of the identifier universe (space accounting).
+        """
+        self.universe_size = max(universe_size, 2)
+        self._frequencies: Dict[int, int] = {}
+
+    def update(self, item: int, delta: int) -> None:
+        """Apply ``x_item += delta`` exactly."""
+        new_value = self._frequencies.get(item, 0) + delta
+        if new_value == 0:
+            self._frequencies.pop(item, None)
+        else:
+            self._frequencies[item] = new_value
+
+    def estimate(self) -> float:
+        """Return the exact number of non-zero frequencies."""
+        return float(len(self._frequencies))
+
+    def frequency(self, item: int) -> int:
+        """Return the exact current frequency of ``item``."""
+        return self._frequencies.get(item, 0)
+
+    def space_bits(self) -> int:
+        """Return the linear-space cost of the dictionary.
+
+        Each entry stores an identifier (``log2(n)`` bits) and a counter
+        (one machine word).
+        """
+        from ..hashing.bitops import WORD_SIZE
+
+        id_bits = max((self.universe_size - 1).bit_length(), 1)
+        return max(len(self._frequencies), 1) * (id_bits + WORD_SIZE)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch everything the library may raise
+with a single ``except`` clause while still being able to distinguish the
+individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the ``repro`` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An estimator or substrate was configured with invalid parameters.
+
+    Examples include a relative-error target outside ``(0, 1)``, a universe
+    size that is not a positive power of two where one is required, or a
+    negative number of repetitions.
+    """
+
+
+class SketchFailure(ReproError, RuntimeError):
+    """A randomized sketch hit its (low-probability) failure event.
+
+    The KNW algorithm of Figure 3 explicitly outputs ``FAIL`` when the
+    bit-packed counter storage would exceed its budget; that event is
+    surfaced to callers as this exception.  The failure probability is
+    bounded by the paper's analysis (at most 1/32 for the main algorithm).
+    """
+
+
+class UpdateError(ReproError, ValueError):
+    """A stream update was outside the domain an estimator accepts.
+
+    Raised, for instance, when an item identifier falls outside ``[0, n)``
+    for a sketch built over a universe of size ``n``, or when a deletion is
+    fed to an insertion-only estimator.
+    """
+
+
+class MergeError(ReproError, ValueError):
+    """Two sketches could not be merged.
+
+    Sketches are only mergeable when they were built with identical
+    parameters *and* identical random seeds (so that their hash functions
+    agree).  Anything else raises this exception rather than silently
+    producing a meaningless combined sketch.
+    """
+
+
+class StreamFormatError(ReproError, ValueError):
+    """A serialized stream or dataset description could not be parsed."""

@@ -1,0 +1,144 @@
+"""k-wise independent hash families (Carter--Wegman polynomials).
+
+The main KNW algorithm (Figure 3) hashes surviving items into ``K = 1/eps^2``
+counters with a hash function ``h3`` drawn from a k-wise independent family
+for ``k = Theta(log(1/eps) / log log(1/eps))``.  The balls-and-bins analysis
+of Section 2 (Lemmas 2 and 3) shows that this limited independence already
+preserves the expectation and variance of the number of occupied bins well
+enough for the ``(1 +/- eps)`` guarantee.
+
+The textbook construction used here is a random polynomial of degree
+``k - 1`` over a prime field evaluated at the key, reduced to the output
+range.  Storage is ``k`` field elements (``O(k log(universe))`` bits) and
+evaluation is ``O(k)`` field operations via Horner's rule; the
+*time-optimal* variant of the paper replaces this with the Siegel /
+Pagh--Pagh families provided in :mod:`repro.hashing.siegel` and
+:mod:`repro.hashing.uniform`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..exceptions import ParameterError
+from .primes import field_prime_for_universe
+
+__all__ = ["KWiseHash", "required_independence"]
+
+
+def required_independence(bins: int, eps: float) -> int:
+    """Return the independence the paper's Lemma 2 asks of ``h3``.
+
+    Lemma 2 requires a ``2(k+1)``-wise independent family with
+    ``k = c * log(K/eps) / log log(K/eps)``.  The constant ``c`` is not made
+    explicit in the paper; ``c = 1`` with a floor of 4 reproduces the
+    asymptotic behaviour while keeping evaluation affordable, and the
+    benchmarks in ``benchmarks/bench_balls_bins.py`` verify empirically that
+    this independence already matches the fully random behaviour.
+
+    Args:
+        bins: the number of bins ``K``.
+        eps: the target relative error.
+
+    Returns:
+        The number of independent evaluations the family must support
+        (i.e. the ``2(k+1)`` of Lemma 2).
+    """
+    import math
+
+    if bins <= 0:
+        raise ParameterError("bins must be positive")
+    if not 0 < eps < 1:
+        raise ParameterError("eps must lie in (0, 1)")
+    ratio = max(bins / eps, 4.0)
+    k = max(4, int(math.ceil(math.log2(ratio) / max(math.log2(math.log2(ratio)), 1.0))))
+    return 2 * (k + 1)
+
+
+class KWiseHash:
+    """A function drawn from a k-wise independent family ``[u] -> [v]``.
+
+    The function is ``h(x) = (sum_j a_j x^j mod p) mod v`` for ``k`` random
+    coefficients over a prime field with ``p >= u``.
+
+    Attributes:
+        universe_size: size ``u`` of the key domain.
+        range_size: size ``v`` of the output range.
+        independence: the ``k`` of the family.
+    """
+
+    __slots__ = ("universe_size", "range_size", "independence", "_prime", "_coefficients")
+
+    def __init__(
+        self,
+        universe_size: int,
+        range_size: int,
+        independence: int,
+        rng: Optional[random.Random] = None,
+        coefficients: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Draw a random member of the family.
+
+        Args:
+            universe_size: size of the key domain; must be positive.
+            range_size: size of the output range; must be positive.
+            independence: the ``k`` of the family; must be at least 1.
+            rng: source of randomness used to pick the polynomial.
+            coefficients: explicit polynomial coefficients (low degree
+                first); intended for tests that need a reproducible
+                function.  When supplied, ``rng`` is ignored.
+        """
+        if universe_size <= 0:
+            raise ParameterError("universe_size must be positive")
+        if range_size <= 0:
+            raise ParameterError("range_size must be positive")
+        if independence < 1:
+            raise ParameterError("independence must be at least 1")
+        self.universe_size = universe_size
+        self.range_size = range_size
+        self.independence = independence
+        self._prime = field_prime_for_universe(max(universe_size, range_size))
+        if coefficients is not None:
+            coeffs = [c % self._prime for c in coefficients]
+            if len(coeffs) != independence:
+                raise ParameterError(
+                    "expected %d coefficients, got %d" % (independence, len(coeffs))
+                )
+            self._coefficients: List[int] = coeffs
+        else:
+            rng = rng if rng is not None else random.Random()
+            self._coefficients = [
+                rng.randrange(0, self._prime) for _ in range(independence)
+            ]
+            # Guarantee the polynomial is non-constant for independence > 1 so
+            # that degenerate all-zero draws (probability p^-(k-1), but fatal
+            # for tests with tiny fields) cannot collapse the family.
+            if independence > 1 and all(c == 0 for c in self._coefficients[1:]):
+                self._coefficients[1] = rng.randrange(1, self._prime)
+
+    def __call__(self, key: int) -> int:
+        """Evaluate the hash function on ``key`` via Horner's rule."""
+        if not 0 <= key < self.universe_size:
+            raise ParameterError(
+                "key %d outside universe [0, %d)" % (key, self.universe_size)
+            )
+        acc = 0
+        p = self._prime
+        for coefficient in reversed(self._coefficients):
+            acc = (acc * key + coefficient) % p
+        return acc % self.range_size
+
+    def space_bits(self) -> int:
+        """Return the number of bits needed to store this function.
+
+        ``k`` field elements, matching the paper's
+        ``O(k log(|U| + |V|))`` accounting for Carter--Wegman families.
+        """
+        return self.independence * self._prime.bit_length()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            "KWiseHash(universe_size=%d, range_size=%d, independence=%d)"
+            % (self.universe_size, self.range_size, self.independence)
+        )

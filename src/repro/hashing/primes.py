@@ -1,0 +1,199 @@
+"""Prime-number utilities for finite-field hashing and fingerprinting.
+
+Several components of the reproduction need primes:
+
+* The Carter--Wegman k-wise independent families (``kwise.py``) evaluate a
+  random degree-(k-1) polynomial over a prime field ``F_p`` with ``p``
+  larger than the key universe.
+* The L0 fingerprint counters of Lemma 6 choose a *random* prime
+  ``p in [D, D^3]`` with ``D = 100 K log(mM)`` so that non-zero frequencies
+  stay non-zero modulo ``p`` with high probability.
+* The exact small-L0 recovery of Lemma 8 hashes counters modulo a random
+  prime of magnitude ``Theta(log(mM) log log(mM))``.
+
+Primality testing is deterministic Miller--Rabin (valid for every integer
+below 3.3 * 10^24 with the fixed witness set used here), which is far more
+than the library ever needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Sequence
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "is_prime",
+    "next_prime",
+    "prev_prime",
+    "random_prime",
+    "primes_in_range",
+    "MERSENNE_61",
+    "MERSENNE_31",
+]
+
+#: The Mersenne prime 2^61 - 1.  Polynomial hashing modulo a Mersenne prime
+#: admits a fast reduction and comfortably covers 32-bit key universes.
+MERSENNE_61 = (1 << 61) - 1
+
+#: The Mersenne prime 2^31 - 1, used when a smaller field suffices.
+MERSENNE_31 = (1 << 31) - 1
+
+# Deterministic Miller-Rabin witness set: correct for all n < 3.3 * 10^24.
+_MILLER_RABIN_WITNESSES: Sequence[int] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37,
+)
+
+_SMALL_PRIMES: Sequence[int] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97,
+)
+
+
+def _miller_rabin_witness(n: int, a: int) -> bool:
+    """Return True when ``a`` witnesses that ``n`` is composite."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int) -> bool:
+    """Return True when ``n`` is prime.
+
+    Deterministic for every ``n`` the library can produce (witness set is
+    exact below 3.3e24).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    for a in _MILLER_RABIN_WITNESSES:
+        if a >= n:
+            continue
+        if _miller_rabin_witness(n, a):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def prev_prime(n: int) -> int:
+    """Return the largest prime strictly smaller than ``n``.
+
+    Raises:
+        ParameterError: if no prime below ``n`` exists (``n <= 2``).
+    """
+    if n <= 2:
+        raise ParameterError("there is no prime below 2")
+    candidate = n - 1
+    if candidate == 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate -= 1
+    while candidate >= 2 and not is_prime(candidate):
+        candidate -= 2
+    if candidate < 2:
+        raise ParameterError("there is no prime below %d" % n)
+    return candidate
+
+
+def random_prime(low: int, high: int, rng: Optional[random.Random] = None) -> int:
+    """Return a prime chosen uniformly-ish at random from ``[low, high]``.
+
+    The sampling strategy matches what Lemma 6 needs: pick a random point
+    in the interval and walk upward to the next prime (wrapping to ``low``
+    if the walk overshoots).  The resulting distribution is not exactly
+    uniform over primes, but every prime in the range has probability
+    proportional to its preceding prime gap, which suffices for the
+    union-bound arguments in the paper (they only need that the prime is
+    "random enough" to avoid dividing a fixed set of non-zero frequencies).
+
+    Args:
+        low: inclusive lower bound (must be >= 2).
+        high: inclusive upper bound (must be >= low and contain a prime).
+        rng: source of randomness; a fresh ``random.Random()`` when omitted.
+
+    Raises:
+        ParameterError: when the interval is malformed or contains no prime.
+    """
+    if low < 2:
+        raise ParameterError("random_prime lower bound must be at least 2")
+    if high < low:
+        raise ParameterError("random_prime upper bound below lower bound")
+    rng = rng if rng is not None else random.Random()
+    start = rng.randint(low, high)
+    candidate = next_prime(start - 1)
+    if candidate > high:
+        candidate = next_prime(low - 1)
+    if candidate > high:
+        raise ParameterError(
+            "no prime exists in the interval [%d, %d]" % (low, high)
+        )
+    return candidate
+
+
+def primes_in_range(low: int, high: int, limit: Optional[int] = None) -> Iterator[int]:
+    """Yield primes in ``[low, high]`` in increasing order.
+
+    Args:
+        low: inclusive lower bound.
+        high: inclusive upper bound.
+        limit: stop after yielding this many primes (``None`` for all).
+    """
+    count = 0
+    candidate = max(low, 2)
+    if candidate == 2:
+        if 2 <= high:
+            yield 2
+            count += 1
+            if limit is not None and count >= limit:
+                return
+        candidate = 3
+    elif candidate % 2 == 0:
+        candidate += 1
+    while candidate <= high:
+        if is_prime(candidate):
+            yield candidate
+            count += 1
+            if limit is not None and count >= limit:
+                return
+        candidate += 2
+
+
+def field_prime_for_universe(universe_size: int) -> int:
+    """Return a prime suitable as a field modulus for keys in ``[0, universe_size)``.
+
+    Prefers the Mersenne primes (fast modular reduction) when they are large
+    enough, otherwise takes the next prime above the universe size.
+    """
+    if universe_size <= 0:
+        raise ParameterError("universe size must be positive")
+    if universe_size <= MERSENNE_31:
+        return MERSENNE_31 if universe_size > (1 << 20) else next_prime(universe_size)
+    if universe_size <= MERSENNE_61:
+        return MERSENNE_61
+    return next_prime(universe_size)

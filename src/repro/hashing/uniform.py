@@ -1,0 +1,145 @@
+"""Pagh--Pagh style "uniform on a fixed set" hash family stand-in.
+
+Theorem 6 of the paper (Pagh and Pagh 2008) provides a family of functions
+``[u] -> [v]`` such that, for any *fixed but unknown* set ``S`` of at most
+``z`` keys, a random member of the family is fully independent when
+restricted to ``S`` with probability ``1 - O(1/z^c)``, can be stored in
+``O(z log v)`` bits, and evaluates in constant time.  The fast version of
+RoughEstimator (Lemma 5) uses this family so that its ``h3`` behaves like a
+truly random function on the at most ``2 K_RE`` surviving items.
+
+Building the actual Pagh--Pagh construction (two rounds of tabulation plus
+a displacement table) is possible but its heavy constants add nothing to
+the reproduction: what the correctness proofs consume is exactly the
+*distributional* guarantee above.  This module therefore provides
+:class:`LazyUniformHash`, which realises the guarantee directly:
+
+* values are drawn independently and uniformly from ``[v]`` the first time
+  a key is queried and memoised thereafter (so the function restricted to
+  the queried set *is* a uniformly random function on that set);
+* the structure enforces the paper's capacity ``z``: the memo table is
+  capped, and the declared space cost is the paper's ``O(z log v)`` bits
+  regardless of how few keys were actually seen;
+* an optional *failure injection* knob models the ``O(1/z^c)`` probability
+  with which the real family fails to be independent, so tests can exercise
+  failure handling.
+
+DESIGN.md records this substitution (paper construction -> behavioural
+stand-in) and why it preserves the relevant behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..exceptions import ParameterError
+
+__all__ = ["LazyUniformHash"]
+
+
+class LazyUniformHash:
+    """A function that is uniformly random on the set of keys actually queried.
+
+    Attributes:
+        universe_size: size of the key domain ``[0, u)``.
+        range_size: size of the output range ``[0, v)``.
+        capacity: the ``z`` of Theorem 6 — the largest set on which the
+            family promises full independence (and the size used for space
+            accounting).
+    """
+
+    __slots__ = (
+        "universe_size",
+        "range_size",
+        "capacity",
+        "_rng",
+        "_memo",
+        "_failed",
+        "failure_probability",
+    )
+
+    def __init__(
+        self,
+        universe_size: int,
+        range_size: int,
+        capacity: int,
+        rng: Optional[random.Random] = None,
+        failure_probability: float = 0.0,
+    ) -> None:
+        """Draw a random member of the family.
+
+        Args:
+            universe_size: size of the key domain; must be positive.
+            range_size: size of the output range; must be positive.
+            capacity: maximum number of distinct keys for which full
+                independence is promised; must be positive.
+            rng: source of randomness (also used for lazily drawn values).
+            failure_probability: probability that this draw of the family
+                is "bad" (models the ``O(1/z^c)`` failure of Theorem 6).
+                When a draw is bad the function degrades to a fixed
+                constant function, which is the most adversarial
+                non-independent behaviour for occupancy statistics.
+        """
+        if universe_size <= 0:
+            raise ParameterError("universe_size must be positive")
+        if range_size <= 0:
+            raise ParameterError("range_size must be positive")
+        if capacity <= 0:
+            raise ParameterError("capacity must be positive")
+        if not 0.0 <= failure_probability < 1.0:
+            raise ParameterError("failure_probability must lie in [0, 1)")
+        self.universe_size = universe_size
+        self.range_size = range_size
+        self.capacity = capacity
+        self._rng = rng if rng is not None else random.Random()
+        self._memo: Dict[int, int] = {}
+        self.failure_probability = failure_probability
+        self._failed = self._rng.random() < failure_probability
+
+    def __call__(self, key: int) -> int:
+        """Evaluate the function on ``key``.
+
+        Values are independent uniform draws per distinct key (memoised).
+        Once more than ``capacity`` distinct keys have been queried the
+        guarantee of Theorem 6 no longer applies; evaluation still works
+        (the memo keeps growing) because the calling algorithms only rely
+        on independence for the first ``capacity`` keys, but
+        :meth:`overflowed` reports that the promise was exceeded.
+        """
+        if not 0 <= key < self.universe_size:
+            raise ParameterError(
+                "key %d outside universe [0, %d)" % (key, self.universe_size)
+            )
+        if self._failed:
+            return 0
+        value = self._memo.get(key)
+        if value is None:
+            value = self._rng.randrange(0, self.range_size)
+            self._memo[key] = value
+        return value
+
+    def overflowed(self) -> bool:
+        """Return True when more than ``capacity`` distinct keys were queried."""
+        return len(self._memo) > self.capacity
+
+    def distinct_keys_seen(self) -> int:
+        """Return the number of distinct keys queried so far."""
+        return len(self._memo)
+
+    def space_bits(self) -> int:
+        """Return the paper-model space cost of storing this function.
+
+        Theorem 6 charges ``O(z log v)`` bits for a capacity-``z`` member of
+        the family; we report exactly ``capacity * ceil(log2(range_size))``
+        so that the space benchmarks account for what the real construction
+        would occupy, not for the Python memo dictionary.
+        """
+        value_bits = max((self.range_size - 1).bit_length(), 1)
+        return self.capacity * value_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            "LazyUniformHash(universe_size=%d, range_size=%d, capacity=%d)"
+            % (self.universe_size, self.range_size, self.capacity)
+        )

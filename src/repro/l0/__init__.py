@@ -1,0 +1,33 @@
+"""L0 (Hamming norm) estimation for turnstile streams (Section 4 of the paper).
+
+* :mod:`repro.l0.fingerprint` — F_p fingerprint counters (Lemma 6).
+* :mod:`repro.l0.small_l0` — exact recovery of small L0 (Lemma 8).
+* :mod:`repro.l0.rough_l0` — RoughL0Estimator (Appendix A.3, Theorem 11).
+* :mod:`repro.l0.knw_l0` — the full KNW L0 estimator (Theorem 10).
+* :mod:`repro.l0.ganguly` — the Ganguly-style baseline the paper compares against.
+"""
+
+from .fingerprint import FingerprintMatrix, choose_fingerprint_prime
+from .ganguly import GangulyStyleL0Estimator
+from .knw_l0 import KNWHammingNormEstimator
+from .rough_l0 import (
+    ROUGH_L0_CAPACITY,
+    ROUGH_L0_FACTOR,
+    ROUGH_L0_THRESHOLD,
+    RoughL0Estimator,
+)
+from .small_l0 import SmallL0Recovery, choose_small_prime, make_trial_hashes
+
+__all__ = [
+    "FingerprintMatrix",
+    "choose_fingerprint_prime",
+    "GangulyStyleL0Estimator",
+    "KNWHammingNormEstimator",
+    "ROUGH_L0_CAPACITY",
+    "ROUGH_L0_FACTOR",
+    "ROUGH_L0_THRESHOLD",
+    "RoughL0Estimator",
+    "SmallL0Recovery",
+    "choose_small_prime",
+    "make_trial_hashes",
+]

@@ -1,0 +1,165 @@
+"""Fingerprint counters over ``F_p`` for the L0 bit-matrix (Lemma 6).
+
+For L0 estimation the Figure 4 bitmatrix cannot store plain bits: an item
+inserted and later deleted must stop counting, and two items of opposite
+sign hashed to the same cell must not cancel to a false "empty".  Lemma 6
+replaces each bit ``A[i][j]`` by a counter
+
+    ``B[i][j] = sum over items hashed to the cell of  x_item * u[h4(h2(item))]  (mod p)``
+
+where ``u`` is a random vector over ``F_p``, ``h4`` is pairwise
+independent, and ``p`` is a random prime in ``[D, D^3]`` with
+``D = 100 K log(mM)``.  The cell is interpreted as "occupied" iff the
+counter is non-zero; the paper shows this interpretation recovers the row
+the estimator needs with probability 2/3 (amplifiable).
+
+Each counter occupies ``O(log K + log log(mM))`` bits, which is where
+Theorem 10's space bound comes from.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..bitstructs.space import SpaceBreakdown
+from ..exceptions import ParameterError
+from ..hashing.primes import random_prime
+from ..hashing.universal import PairwiseHash
+
+__all__ = ["FingerprintMatrix", "choose_fingerprint_prime"]
+
+
+def choose_fingerprint_prime(
+    bins: int, magnitude_bound: int, rng: Optional[random.Random] = None
+) -> int:
+    """Pick the random prime ``p`` of Lemma 6.
+
+    Args:
+        bins: the number of columns ``K``.
+        magnitude_bound: an upper bound on ``mM`` (the largest possible
+            absolute frequency of any item at any time).
+        rng: source of randomness.
+
+    Returns:
+        A prime in ``[D, D^3]`` for ``D = 100 K log2(mM)``.
+    """
+    if bins <= 0:
+        raise ParameterError("bins must be positive")
+    if magnitude_bound < 1:
+        raise ParameterError("magnitude_bound must be at least 1")
+    log_mm = max(math.log2(max(magnitude_bound, 2)), 1.0)
+    lower = max(int(100 * bins * log_mm), 7)
+    upper = lower ** 3
+    return random_prime(lower, upper, rng=rng)
+
+
+class FingerprintMatrix:
+    """A ``levels x bins`` matrix of F_p fingerprint counters.
+
+    Attributes:
+        levels: number of subsampling levels (rows), typically ``log2(n)+1``.
+        bins: number of columns ``K``.
+        prime: the modulus ``p``.
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        bins: int,
+        magnitude_bound: int,
+        seed: Optional[int] = None,
+        prime: Optional[int] = None,
+    ) -> None:
+        """Create the matrix.
+
+        Args:
+            levels: number of rows; must be positive.
+            bins: number of columns ``K``; must be positive.
+            magnitude_bound: upper bound on ``mM`` used to size the prime.
+            seed: RNG seed for the prime, the random vector ``u`` and ``h4``.
+            prime: explicit modulus override (tests use small primes to
+                exercise the false-negative path deliberately).
+        """
+        if levels <= 0:
+            raise ParameterError("levels must be positive")
+        if bins <= 0:
+            raise ParameterError("bins must be positive")
+        rng = random.Random(seed)
+        self.levels = levels
+        self.bins = bins
+        self.magnitude_bound = magnitude_bound
+        self.prime = prime if prime is not None else choose_fingerprint_prime(
+            bins, magnitude_bound, rng=rng
+        )
+        if self.prime < 2:
+            raise ParameterError("prime must be at least 2")
+        # The random weight vector u in F_p^K and the collision-breaking h4.
+        self._weights: List[int] = [rng.randrange(1, self.prime) for _ in range(bins)]
+        self._h4 = PairwiseHash(max(bins ** 3, bins), bins, rng=rng)
+        self._cells: List[List[int]] = [[0] * bins for _ in range(levels)]
+        self._nonzero_per_row: List[int] = [0] * levels
+
+    def update(self, level: int, column: int, spread_key: int, delta: int) -> None:
+        """Apply ``B[level][column] += delta * u[h4(spread_key)] (mod p)``.
+
+        Args:
+            level: the row (``lsb(h1(item))``, clamped by the caller).
+            column: the column (``h3(h2(item))``).
+            spread_key: the value ``h2(item)`` fed to ``h4`` to select the
+                weight; using ``h2``'s output (not the raw item) matches the
+                paper's ``u_{h4(h2(i))}``.
+            delta: the signed frequency change.
+        """
+        if not 0 <= level < self.levels:
+            raise ParameterError("level %d outside [0, %d)" % (level, self.levels))
+        if not 0 <= column < self.bins:
+            raise ParameterError("column %d outside [0, %d)" % (column, self.bins))
+        weight = self._weights[self._h4(spread_key % self._h4.universe_size)]
+        row = self._cells[level]
+        old = row[column]
+        new = (old + delta * weight) % self.prime
+        if old == 0 and new != 0:
+            self._nonzero_per_row[level] += 1
+        elif old != 0 and new == 0:
+            self._nonzero_per_row[level] -= 1
+        row[column] = new
+
+    def is_occupied(self, level: int, column: int) -> bool:
+        """Return True when the cell's fingerprint is non-zero."""
+        return self._cells[level][column] != 0
+
+    def row_occupancy(self, level: int) -> int:
+        """Return the number of non-zero cells in ``level`` (O(1), maintained)."""
+        if not 0 <= level < self.levels:
+            raise ParameterError("level %d outside [0, %d)" % (level, self.levels))
+        return self._nonzero_per_row[level]
+
+    def occupancies(self) -> List[int]:
+        """Return the per-row non-zero cell counts."""
+        return list(self._nonzero_per_row)
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost.
+
+        Each cell and each weight is an element of ``F_p``
+        (``ceil(log2 p)`` bits); ``h4`` adds its two field elements.
+        """
+        breakdown = SpaceBreakdown("fingerprint-matrix")
+        cell_bits = max(self.prime.bit_length(), 1)
+        breakdown.add("cells", self.levels * self.bins * cell_bits)
+        breakdown.add("weight-vector-u", self.bins * cell_bits)
+        breakdown.add_component("h4", self._h4)
+        breakdown.add("prime-p", cell_bits)
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the matrix's total space in bits."""
+        return self.space_breakdown().total()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            "FingerprintMatrix(levels=%d, bins=%d, prime=%d)"
+            % (self.levels, self.bins, self.prime)
+        )

@@ -1,0 +1,187 @@
+"""Exact recovery of small L0 values (Lemma 8).
+
+When the Hamming norm is promised to be at most a constant ``c``, it can be
+computed *exactly* with probability ``1 - delta`` in
+``O(c^2 log log(mM))`` bits: hash the universe pairwise-independently into
+``Theta(c^2)`` buckets, keep each bucket's frequency sum modulo a random
+prime ``p = Theta(log(mM) log log(mM))``, and report the number of
+non-zero buckets; repeat ``O(log(1/delta))`` times and take the maximum.
+
+Two failure sources exist and both are handled as in the paper:
+
+* a collision of two live items in one bucket (probability ``O(1/c)`` per
+  pair, driven down by the ``c^2`` buckets and the max-over-trials);
+* a live item's frequency being divisible by ``p`` (probability
+  ``O(1/ log(mM))`` per item by the prime's size, also absorbed by the
+  trials).
+
+RoughL0Estimator (Appendix A.3) runs one instance of this structure per
+subsampling level, sharing the trial hash functions across levels exactly
+as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import TurnstileEstimator
+from ..exceptions import ParameterError
+from ..hashing.primes import random_prime
+from ..hashing.universal import PairwiseHash
+
+__all__ = ["SmallL0Recovery", "make_trial_hashes", "choose_small_prime"]
+
+
+def choose_small_prime(magnitude_bound: int, rng: Optional[random.Random] = None) -> int:
+    """Pick the Lemma 8 prime ``p = Theta(log(mM) log log(mM))``."""
+    if magnitude_bound < 1:
+        raise ParameterError("magnitude_bound must be at least 1")
+    log_mm = max(math.log2(max(magnitude_bound, 4)), 2.0)
+    loglog_mm = max(math.log2(log_mm), 1.0)
+    lower = max(int(log_mm * loglog_mm), 5)
+    return random_prime(lower, max(lower * 8, lower + 16), rng=rng)
+
+
+def make_trial_hashes(
+    universe_size: int,
+    buckets: int,
+    trials: int,
+    rng: Optional[random.Random] = None,
+) -> List[PairwiseHash]:
+    """Draw the ``O(log(1/delta))`` shared pairwise hash functions.
+
+    RoughL0Estimator shares one list of these across all of its per-level
+    instances, so they are created by this standalone factory rather than
+    inside :class:`SmallL0Recovery`.
+    """
+    if trials <= 0:
+        raise ParameterError("trials must be positive")
+    rng = rng if rng is not None else random.Random()
+    return [PairwiseHash(universe_size, buckets, rng=rng) for _ in range(trials)]
+
+
+def trials_for_failure_probability(delta: float) -> int:
+    """Return ``O(log(1/delta))`` trials (at least 2)."""
+    if not 0.0 < delta < 1.0:
+        raise ParameterError("delta must lie in (0, 1)")
+    return max(2, int(math.ceil(math.log2(1.0 / delta))) + 1)
+
+
+class SmallL0Recovery(TurnstileEstimator):
+    """Exact L0 under the promise ``L0 <= capacity`` (Lemma 8).
+
+    Attributes:
+        capacity: the promised upper bound ``c`` on L0.
+        buckets: number of counters per trial (``capacity^2`` by default).
+        trials: number of independent repetitions (max is reported).
+    """
+
+    name = "knw-small-l0"
+    requires_nonnegative_frequencies = False
+
+    def __init__(
+        self,
+        universe_size: int,
+        capacity: int,
+        magnitude_bound: int,
+        delta: float = 1.0 / 16.0,
+        seed: Optional[int] = None,
+        trial_hashes: Optional[Sequence[PairwiseHash]] = None,
+        prime: Optional[int] = None,
+        buckets: Optional[int] = None,
+    ) -> None:
+        """Create the structure.
+
+        Args:
+            universe_size: the universe size ``n``.
+            capacity: the promise ``c`` (the paper's RoughL0Estimator uses 141).
+            magnitude_bound: upper bound on ``mM`` used to size the prime.
+            delta: per-instance failure probability (sets the trial count
+                when ``trial_hashes`` is not supplied).
+            seed: RNG seed.
+            trial_hashes: externally shared pairwise hash functions (one per
+                trial); when given their space is charged to the sharer.
+            prime: explicit modulus override (tests).
+            buckets: explicit bucket-count override (defaults to
+                ``capacity^2``).
+        """
+        if universe_size < 2:
+            raise ParameterError("universe_size must be at least 2")
+        if capacity <= 0:
+            raise ParameterError("capacity must be positive")
+        rng = random.Random(seed)
+        self.universe_size = universe_size
+        self.capacity = capacity
+        self.magnitude_bound = magnitude_bound
+        self.buckets = buckets if buckets is not None else capacity * capacity
+        self.prime = prime if prime is not None else choose_small_prime(
+            magnitude_bound, rng=rng
+        )
+        self._owns_hashes = trial_hashes is None
+        if trial_hashes is None:
+            trial_count = trials_for_failure_probability(delta)
+            trial_hashes = make_trial_hashes(
+                universe_size, self.buckets, trial_count, rng=rng
+            )
+        else:
+            for hash_function in trial_hashes:
+                if hash_function.range_size != self.buckets:
+                    raise ParameterError(
+                        "shared trial hashes must map into the bucket range"
+                    )
+        self._hashes: Sequence[PairwiseHash] = trial_hashes
+        self.trials = len(self._hashes)
+        self._counters: List[List[int]] = [
+            [0] * self.buckets for _ in range(self.trials)
+        ]
+        self._nonzero: List[int] = [0] * self.trials
+
+    def update(self, item: int, delta: int) -> None:
+        """Apply ``x_item += delta`` to every trial's bucket array."""
+        if not 0 <= item < self.universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (item, self.universe_size)
+            )
+        for trial, hash_function in enumerate(self._hashes):
+            bucket = hash_function(item)
+            row = self._counters[trial]
+            old = row[bucket]
+            new = (old + delta) % self.prime
+            if old == 0 and new != 0:
+                self._nonzero[trial] += 1
+            elif old != 0 and new == 0:
+                self._nonzero[trial] -= 1
+            row[bucket] = new
+
+    def estimate(self) -> float:
+        """Return the maximum non-zero-bucket count across trials.
+
+        Under the promise ``L0 <= capacity`` this equals L0 exactly with
+        probability at least ``1 - delta``; without the promise it is a
+        lower bound on L0 (collisions and wrap-around can only reduce the
+        count), which is exactly the property RoughL0Estimator relies on
+        when it thresholds the value at a constant.
+        """
+        return float(max(self._nonzero))
+
+    def exceeds(self, threshold: int) -> bool:
+        """Return True when the recovered count exceeds ``threshold``."""
+        return max(self._nonzero) > threshold
+
+    def space_breakdown(self) -> SpaceBreakdown:
+        """Return the itemised space cost."""
+        breakdown = SpaceBreakdown(self.name)
+        counter_bits = max(self.prime.bit_length(), 1)
+        breakdown.add("bucket-counters", self.trials * self.buckets * counter_bits)
+        breakdown.add("prime", counter_bits)
+        if self._owns_hashes:
+            for index, hash_function in enumerate(self._hashes):
+                breakdown.add("trial-hash-%d" % index, hash_function.space_bits())
+        return breakdown
+
+    def space_bits(self) -> int:
+        """Return the structure's total space in bits."""
+        return self.space_breakdown().total()

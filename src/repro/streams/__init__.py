@@ -1,0 +1,59 @@
+"""Stream model and workload generators.
+
+* :mod:`repro.streams.model` — update/stream value types and ground truth.
+* :mod:`repro.streams.generators` — insertion-only workloads (uniform,
+  Zipf, sequential, adversarial, grow-then-repeat, union pairs).
+* :mod:`repro.streams.turnstile` — turnstile workloads with deletions for
+  the L0 algorithms.
+* :mod:`repro.streams.datasets` — synthetic packet traces, query logs, and
+  table columns matching the paper's motivating applications.
+"""
+
+from .datasets import FlowRecord, packet_trace, query_log, table_column
+from .generators import (
+    distinct_items_stream,
+    duplicated_union_streams,
+    growing_then_repeating_stream,
+    low_bits_adversarial_stream,
+    sequential_stream,
+    uniform_random_stream,
+    zipf_stream,
+)
+from .model import (
+    MaterializedStream,
+    Update,
+    exact_f0,
+    exact_l0,
+    frequency_vector,
+    stream_from_items,
+)
+from .turnstile import (
+    fluctuating_stream,
+    insert_delete_stream,
+    mixed_sign_stream,
+    paired_columns,
+)
+
+__all__ = [
+    "FlowRecord",
+    "packet_trace",
+    "query_log",
+    "table_column",
+    "distinct_items_stream",
+    "duplicated_union_streams",
+    "growing_then_repeating_stream",
+    "low_bits_adversarial_stream",
+    "sequential_stream",
+    "uniform_random_stream",
+    "zipf_stream",
+    "MaterializedStream",
+    "Update",
+    "exact_f0",
+    "exact_l0",
+    "frequency_vector",
+    "stream_from_items",
+    "fluctuating_stream",
+    "insert_delete_stream",
+    "mixed_sign_stream",
+    "paired_columns",
+]

@@ -1,0 +1,255 @@
+"""Insertion-only workload generators.
+
+The evaluation needs streams whose distinct-count and duplication structure
+can be controlled precisely:
+
+* ``uniform_random_stream`` — each update is a uniform item; duplication is
+  whatever the birthday structure produces.
+* ``distinct_items_stream`` — exactly ``distinct`` items, each appearing a
+  configurable number of times, in random order (the workhorse for accuracy
+  benchmarks, since the ground truth is chosen rather than observed).
+* ``zipf_stream`` — heavy-tailed repetition, the classic database/network
+  skew model.
+* ``sequential_stream`` — items ``0, 1, 2, ...`` in order (an adversarial
+  case for schemes that subsample on raw identifiers rather than hashes).
+* ``low_bits_adversarial_stream`` — identifiers chosen so their low-order
+  bits are maximally non-uniform, stressing the ``lsb``-based subsampling.
+* ``growing_then_repeating_stream`` — F0 grows and then plateaus, the shape
+  that exercises RoughEstimator's "correct at all times" guarantee.
+
+Every generator returns a :class:`repro.streams.model.MaterializedStream`
+and takes an explicit ``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..exceptions import ParameterError
+from ..hashing.bitops import reverse_bits
+from .model import MaterializedStream, Update
+
+__all__ = [
+    "uniform_random_stream",
+    "distinct_items_stream",
+    "zipf_stream",
+    "sequential_stream",
+    "low_bits_adversarial_stream",
+    "growing_then_repeating_stream",
+    "duplicated_union_streams",
+]
+
+
+def _check_universe(universe_size: int) -> None:
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+
+
+def uniform_random_stream(
+    universe_size: int,
+    length: int,
+    seed: Optional[int] = None,
+    name: str = "uniform",
+) -> MaterializedStream:
+    """Return a stream of ``length`` uniform draws from ``[0, universe_size)``."""
+    _check_universe(universe_size)
+    if length < 0:
+        raise ParameterError("length must be non-negative")
+    rng = random.Random(seed)
+    updates = [Update(rng.randrange(universe_size), 1) for _ in range(length)]
+    return MaterializedStream(updates, universe_size, name=name)
+
+
+def distinct_items_stream(
+    universe_size: int,
+    distinct: int,
+    repetitions: int = 1,
+    seed: Optional[int] = None,
+    shuffle: bool = True,
+    name: str = "distinct",
+) -> MaterializedStream:
+    """Return a stream containing exactly ``distinct`` distinct items.
+
+    Args:
+        universe_size: size of the identifier universe.
+        distinct: exact number of distinct identifiers (the ground-truth F0).
+        repetitions: how many times each identifier appears.
+        seed: RNG seed for identifier selection and shuffling.
+        shuffle: when False, all copies of an item appear consecutively.
+        name: label for reports.
+    """
+    _check_universe(universe_size)
+    if not 0 <= distinct <= universe_size:
+        raise ParameterError("distinct must lie in [0, universe_size]")
+    if repetitions <= 0:
+        raise ParameterError("repetitions must be positive")
+    rng = random.Random(seed)
+    identifiers = rng.sample(range(universe_size), distinct)
+    items: List[int] = []
+    for identifier in identifiers:
+        items.extend([identifier] * repetitions)
+    if shuffle:
+        rng.shuffle(items)
+    return MaterializedStream([Update(item, 1) for item in items], universe_size, name=name)
+
+
+def zipf_stream(
+    universe_size: int,
+    length: int,
+    skew: float = 1.1,
+    seed: Optional[int] = None,
+    name: str = "zipf",
+) -> MaterializedStream:
+    """Return a stream whose item frequencies follow a Zipf distribution.
+
+    The rank-r item has probability proportional to ``r^-skew``; ranks are
+    mapped to random identifiers so the heavy items do not have special
+    low-order-bit structure.
+
+    Args:
+        universe_size: size of the identifier universe.
+        length: number of updates.
+        skew: Zipf exponent; must be positive.
+        seed: RNG seed.
+        name: label for reports.
+    """
+    _check_universe(universe_size)
+    if length < 0:
+        raise ParameterError("length must be non-negative")
+    if skew <= 0:
+        raise ParameterError("skew must be positive")
+    rng = random.Random(seed)
+    support = min(universe_size, max(length, 1))
+    weights = [1.0 / ((rank + 1) ** skew) for rank in range(support)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    identifiers = rng.sample(range(universe_size), support)
+
+    def draw() -> int:
+        u = rng.random()
+        lo, hi = 0, support - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return identifiers[lo]
+
+    updates = [Update(draw(), 1) for _ in range(length)]
+    return MaterializedStream(updates, universe_size, name=name)
+
+
+def sequential_stream(
+    universe_size: int,
+    distinct: int,
+    name: str = "sequential",
+) -> MaterializedStream:
+    """Return the stream ``0, 1, ..., distinct-1`` (each item exactly once)."""
+    _check_universe(universe_size)
+    if not 0 <= distinct <= universe_size:
+        raise ParameterError("distinct must lie in [0, universe_size]")
+    updates = [Update(item, 1) for item in range(distinct)]
+    return MaterializedStream(updates, universe_size, name=name)
+
+
+def low_bits_adversarial_stream(
+    universe_size: int,
+    distinct: int,
+    name: str = "lowbits-adversarial",
+) -> MaterializedStream:
+    """Return a stream of identifiers with adversarial low-order-bit structure.
+
+    Identifiers are bit-reversed counters, so their *low* bits change as
+    slowly as a counter's *high* bits.  Estimators that subsample on the raw
+    identifier (rather than on a hash of it) are badly fooled by this
+    workload; the KNW algorithms hash first, so their accuracy should be
+    unaffected — which is exactly what the adversarial benchmark checks.
+    """
+    _check_universe(universe_size)
+    if universe_size & (universe_size - 1):
+        raise ParameterError("low_bits_adversarial_stream requires a power-of-two universe")
+    if not 0 <= distinct <= universe_size:
+        raise ParameterError("distinct must lie in [0, universe_size]")
+    width = max(universe_size.bit_length() - 1, 1)
+    updates = [Update(reverse_bits(item, width), 1) for item in range(distinct)]
+    return MaterializedStream(updates, universe_size, name=name)
+
+
+def growing_then_repeating_stream(
+    universe_size: int,
+    distinct: int,
+    repeat_length: int,
+    seed: Optional[int] = None,
+    name: str = "grow-then-repeat",
+) -> MaterializedStream:
+    """Return a stream whose F0 grows to ``distinct`` and then stays flat.
+
+    The first phase introduces ``distinct`` new identifiers; the second
+    phase re-draws ``repeat_length`` updates uniformly from the already-seen
+    identifiers.  RoughEstimator must remain a constant-factor
+    approximation at *every* point of both phases (Theorem 1), so this is
+    the canonical workload for experiment E5.
+    """
+    _check_universe(universe_size)
+    if not 0 < distinct <= universe_size:
+        raise ParameterError("distinct must lie in (0, universe_size]")
+    if repeat_length < 0:
+        raise ParameterError("repeat_length must be non-negative")
+    rng = random.Random(seed)
+    identifiers = rng.sample(range(universe_size), distinct)
+    items = list(identifiers)
+    items.extend(rng.choice(identifiers) for _ in range(repeat_length))
+    return MaterializedStream([Update(item, 1) for item in items], universe_size, name=name)
+
+
+def duplicated_union_streams(
+    universe_size: int,
+    distinct: int,
+    overlap_fraction: float,
+    seed: Optional[int] = None,
+) -> Sequence[MaterializedStream]:
+    """Return two streams whose identifier sets overlap by a chosen fraction.
+
+    Used by the merge/union tests and the query-optimizer example: the union
+    of the two streams has ``distinct * (2 - overlap_fraction)`` distinct
+    identifiers, and a pair of mergeable sketches must estimate that union
+    without double-counting the overlap.
+
+    Args:
+        universe_size: size of the identifier universe.
+        distinct: number of distinct identifiers in each stream.
+        overlap_fraction: fraction (in [0, 1]) of identifiers shared.
+        seed: RNG seed.
+
+    Returns:
+        A pair of insertion-only streams.
+    """
+    _check_universe(universe_size)
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ParameterError("overlap_fraction must lie in [0, 1]")
+    shared = int(round(distinct * overlap_fraction))
+    needed = 2 * distinct - shared
+    if needed > universe_size:
+        raise ParameterError("universe too small for the requested overlap structure")
+    rng = random.Random(seed)
+    identifiers = rng.sample(range(universe_size), needed)
+    shared_ids = identifiers[:shared]
+    first_only = identifiers[shared: shared + (distinct - shared)]
+    second_only = identifiers[shared + (distinct - shared):]
+    first_items = shared_ids + first_only
+    second_items = shared_ids + second_only
+    rng.shuffle(first_items)
+    rng.shuffle(second_items)
+    first = MaterializedStream(
+        [Update(item, 1) for item in first_items], universe_size, name="union-left"
+    )
+    second = MaterializedStream(
+        [Update(item, 1) for item in second_items], universe_size, name="union-right"
+    )
+    return (first, second)

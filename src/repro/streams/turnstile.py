@@ -1,0 +1,216 @@
+"""Turnstile (insert + delete) workload generators for L0 estimation.
+
+The L0 algorithm of Section 4 operates on a frequency vector updated by
+signed increments; its distinguishing feature over F0 is that items whose
+frequency returns to zero must stop counting, and that positive and
+negative frequencies may coexist (the paper notes its algorithm — unlike
+Ganguly's — does not require ``x_i >= 0``).
+
+Generators here produce streams with controllable final L0, deletion
+fraction, and cancellation structure:
+
+* ``insert_delete_stream`` — inserts ``distinct`` items then deletes a
+  chosen fraction of them completely, so the final L0 is exact by design.
+* ``fluctuating_stream`` — random signed updates with a drift toward a
+  target support size; exercises mid-stream L0 shrinkage and growth.
+* ``mixed_sign_stream`` — frequencies driven both positive and negative
+  (the case Ganguly's algorithm cannot handle).
+* ``paired_columns`` — two column-like streams whose Hamming distance is
+  controlled; used by the data-cleaning application and its benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..exceptions import ParameterError
+from .model import MaterializedStream, Update
+
+__all__ = [
+    "insert_delete_stream",
+    "fluctuating_stream",
+    "mixed_sign_stream",
+    "paired_columns",
+]
+
+
+def insert_delete_stream(
+    universe_size: int,
+    distinct: int,
+    delete_fraction: float = 0.5,
+    copies: int = 1,
+    seed: Optional[int] = None,
+    name: str = "insert-delete",
+) -> MaterializedStream:
+    """Insert ``distinct`` items (each ``copies`` times), then fully delete a fraction.
+
+    The surviving support has size ``distinct - round(distinct * delete_fraction)``,
+    which is the stream's exact final L0.
+
+    Args:
+        universe_size: size of the identifier universe.
+        distinct: number of identifiers inserted.
+        delete_fraction: fraction of identifiers whose frequency is driven
+            back to zero by matching deletions.
+        copies: frequency given to each inserted identifier.
+        seed: RNG seed.
+        name: label for reports.
+    """
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+    if not 0 <= distinct <= universe_size:
+        raise ParameterError("distinct must lie in [0, universe_size]")
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ParameterError("delete_fraction must lie in [0, 1]")
+    if copies <= 0:
+        raise ParameterError("copies must be positive")
+    rng = random.Random(seed)
+    identifiers = rng.sample(range(universe_size), distinct)
+    updates: List[Update] = []
+    for identifier in identifiers:
+        updates.extend(Update(identifier, 1) for _ in range(copies))
+    deleted = identifiers[: int(round(distinct * delete_fraction))]
+    for identifier in deleted:
+        updates.extend(Update(identifier, -1) for _ in range(copies))
+    rng.shuffle(updates)
+    # Shuffling can momentarily drive a frequency negative (a deletion seen
+    # before its insertion), which is legal in the turnstile model and is
+    # precisely the generality the KNW L0 algorithm supports.
+    return MaterializedStream(updates, universe_size, name=name)
+
+
+def fluctuating_stream(
+    universe_size: int,
+    length: int,
+    target_support: int,
+    max_magnitude: int = 3,
+    seed: Optional[int] = None,
+    name: str = "fluctuating",
+) -> MaterializedStream:
+    """Random signed updates drifting toward a target support size.
+
+    Each step either touches an already-supported item (possibly cancelling
+    it) or introduces a new one, with probabilities biased so the support
+    hovers near ``target_support``.
+
+    Args:
+        universe_size: size of the identifier universe.
+        length: number of updates.
+        target_support: the support size the stream drifts toward.
+        max_magnitude: updates are drawn from ``[-max_magnitude, max_magnitude] \\ {0}``.
+        seed: RNG seed.
+        name: label for reports.
+    """
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+    if length < 0:
+        raise ParameterError("length must be non-negative")
+    if not 0 < target_support <= universe_size:
+        raise ParameterError("target_support must lie in (0, universe_size]")
+    if max_magnitude <= 0:
+        raise ParameterError("max_magnitude must be positive")
+    rng = random.Random(seed)
+    frequencies = {}
+    updates: List[Update] = []
+    for _ in range(length):
+        grow = len(frequencies) < target_support and rng.random() < 0.7
+        if grow or not frequencies:
+            item = rng.randrange(universe_size)
+            delta = rng.randint(1, max_magnitude)
+        else:
+            item = rng.choice(list(frequencies))
+            current = frequencies[item]
+            if rng.random() < 0.4:
+                delta = -current  # full cancellation
+            else:
+                delta = rng.choice(
+                    [d for d in range(-max_magnitude, max_magnitude + 1) if d not in (0, -current)]
+                )
+        updates.append(Update(item, delta))
+        new_value = frequencies.get(item, 0) + delta
+        if new_value == 0:
+            frequencies.pop(item, None)
+        else:
+            frequencies[item] = new_value
+    return MaterializedStream(updates, universe_size, name=name)
+
+
+def mixed_sign_stream(
+    universe_size: int,
+    positive_items: int,
+    negative_items: int,
+    magnitude: int = 2,
+    seed: Optional[int] = None,
+    name: str = "mixed-sign",
+) -> MaterializedStream:
+    """A stream whose final frequencies include both positive and negative values.
+
+    The final L0 is exactly ``positive_items + negative_items``.  Ganguly's
+    algorithm requires all frequencies to be non-negative; the KNW L0
+    algorithm does not, and this workload is what demonstrates that.
+    """
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+    if positive_items < 0 or negative_items < 0:
+        raise ParameterError("item counts must be non-negative")
+    if positive_items + negative_items > universe_size:
+        raise ParameterError("universe too small for the requested support")
+    if magnitude <= 0:
+        raise ParameterError("magnitude must be positive")
+    rng = random.Random(seed)
+    identifiers = rng.sample(range(universe_size), positive_items + negative_items)
+    updates: List[Update] = []
+    for identifier in identifiers[:positive_items]:
+        updates.append(Update(identifier, magnitude))
+    for identifier in identifiers[positive_items:]:
+        updates.append(Update(identifier, -magnitude))
+    rng.shuffle(updates)
+    return MaterializedStream(updates, universe_size, name=name)
+
+
+def paired_columns(
+    universe_size: int,
+    rows: int,
+    differing_rows: int,
+    seed: Optional[int] = None,
+) -> Tuple[MaterializedStream, MaterializedStream, MaterializedStream]:
+    """Two database columns plus their difference stream.
+
+    Models the data-cleaning application from the paper's introduction
+    (Cormode et al.: "how many row positions differ between two columns?").
+    Column values are drawn from the universe; ``differing_rows`` positions
+    get different values in the two columns, the rest agree.  The returned
+    difference stream applies ``+1`` for every value of column A and ``-1``
+    for every value of column B keyed by *value* (multiset difference), so
+    its L0 counts values whose multiplicities differ — the Hamming-norm
+    formulation used for similar-column discovery.
+
+    Returns:
+        ``(column_a, column_b, difference)`` streams.
+    """
+    if universe_size <= 0:
+        raise ParameterError("universe_size must be positive")
+    if rows <= 0:
+        raise ParameterError("rows must be positive")
+    if not 0 <= differing_rows <= rows:
+        raise ParameterError("differing_rows must lie in [0, rows]")
+    rng = random.Random(seed)
+    column_a_values = [rng.randrange(universe_size) for _ in range(rows)]
+    column_b_values = list(column_a_values)
+    differing_positions = rng.sample(range(rows), differing_rows)
+    for position in differing_positions:
+        new_value = rng.randrange(universe_size)
+        while new_value == column_a_values[position]:
+            new_value = rng.randrange(universe_size)
+        column_b_values[position] = new_value
+    column_a = MaterializedStream(
+        [Update(value, 1) for value in column_a_values], universe_size, name="column-a"
+    )
+    column_b = MaterializedStream(
+        [Update(value, 1) for value in column_b_values], universe_size, name="column-b"
+    )
+    difference_updates = [Update(value, 1) for value in column_a_values]
+    difference_updates += [Update(value, -1) for value in column_b_values]
+    difference = MaterializedStream(difference_updates, universe_size, name="column-difference")
+    return (column_a, column_b, difference)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+The fixtures keep universes and streams small so the whole suite runs in a
+few minutes in pure Python while still exercising every regime (small-F0,
+the Figure 3 handover, rebasing, turnstile deletions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams import distinct_items_stream, insert_delete_stream
+
+
+#: Universe size used by most tests: large enough for 16-bit identifiers
+#: and several subsampling levels, small enough to keep hashing cheap.
+SMALL_UNIVERSE = 1 << 16
+
+#: Universe used by tests that need more levels (e.g. RoughEstimator range).
+LARGE_UNIVERSE = 1 << 20
+
+
+@pytest.fixture
+def small_universe() -> int:
+    """Universe size shared by most estimator tests."""
+    return SMALL_UNIVERSE
+
+
+@pytest.fixture
+def large_universe() -> int:
+    """Larger universe for tests that need many subsampling levels."""
+    return LARGE_UNIVERSE
+
+
+@pytest.fixture
+def medium_stream():
+    """An insertion-only stream with exactly 2000 distinct items."""
+    return distinct_items_stream(SMALL_UNIVERSE, 2000, repetitions=2, seed=101)
+
+
+@pytest.fixture
+def small_stream():
+    """An insertion-only stream with exactly 60 distinct items."""
+    return distinct_items_stream(SMALL_UNIVERSE, 60, repetitions=3, seed=102)
+
+
+@pytest.fixture
+def turnstile_stream():
+    """A turnstile stream whose final L0 is exactly 600."""
+    return insert_delete_stream(
+        SMALL_UNIVERSE, 1200, delete_fraction=0.5, copies=2, seed=103
+    )

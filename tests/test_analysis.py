@@ -1,0 +1,143 @@
+"""Tests for the analysis harness: metrics, runner, sweeps, tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    accuracy_sweep,
+    format_bits,
+    l0_accuracy_sweep,
+    relative_error,
+    run_f0,
+    run_f0_by_name,
+    run_l0_by_name,
+    space_sweep,
+    summarize_errors,
+    within_band_rate,
+)
+from repro.estimators import ExactDistinctCounter
+from repro.exceptions import ParameterError
+from repro.streams import distinct_items_stream, insert_delete_stream
+
+UNIVERSE = 1 << 14
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == float("inf")
+        with pytest.raises(ParameterError):
+            relative_error(1, -1)
+
+    def test_within_band_rate(self):
+        estimates = [95, 105, 120, 80]
+        assert within_band_rate(estimates, 100, 0.1) == 0.5
+        with pytest.raises(ParameterError):
+            within_band_rate([], 100, 0.1)
+
+    def test_summarize_errors(self):
+        summary = summarize_errors([90, 100, 110, 130], 100)
+        assert summary.trials == 4
+        assert summary.maximum == pytest.approx(0.3)
+        assert summary.mean_bias == pytest.approx(0.075)
+        assert len(summary.as_row()) == 7
+
+    def test_summarize_requires_data(self):
+        with pytest.raises(ParameterError):
+            summarize_errors([], 10)
+        with pytest.raises(ParameterError):
+            summarize_errors([1.0], 0)
+
+
+class TestRunner:
+    def test_run_f0_with_checkpoints(self):
+        stream = distinct_items_stream(UNIVERSE, 400, repetitions=2, seed=1)
+        positions = stream.checkpoints(4)
+        result = run_f0(ExactDistinctCounter(UNIVERSE), stream, positions)
+        assert result.truth == 400
+        assert result.estimate == 400.0
+        assert result.relative_error == 0.0
+        assert len(result.checkpoints) == 4
+        assert all(cp.relative_error == 0.0 for cp in result.checkpoints)
+
+    def test_run_f0_rejects_turnstile_stream(self):
+        stream = insert_delete_stream(UNIVERSE, 50, seed=2)
+        with pytest.raises(ParameterError):
+            run_f0(ExactDistinctCounter(UNIVERSE), stream)
+
+    def test_run_f0_by_name(self):
+        stream = distinct_items_stream(UNIVERSE, 600, seed=3)
+        result = run_f0_by_name("hyperloglog", stream, eps=0.1, seed=4)
+        assert result.algorithm == "hyperloglog"
+        assert result.relative_error < 0.3
+        assert result.space_bits > 0
+
+    def test_run_l0_by_name(self):
+        stream = insert_delete_stream(UNIVERSE, 600, delete_fraction=0.5, seed=5)
+        result = run_l0_by_name("exact-l0", stream, eps=0.1, seed=6)
+        assert result.estimate == result.truth
+
+
+class TestSweeps:
+    def test_accuracy_sweep_shape(self):
+        points = accuracy_sweep(
+            algorithms=["exact", "hyperloglog"],
+            stream_factory=lambda seed: distinct_items_stream(UNIVERSE, 500, seed=seed),
+            eps_values=[0.2],
+            seeds=[1, 2, 3],
+        )
+        assert len(points) == 2
+        exact_point = next(p for p in points if p.algorithm == "exact")
+        assert exact_point.within_band == 1.0
+        assert exact_point.summary.mean == 0.0
+
+    def test_accuracy_sweep_validation(self):
+        with pytest.raises(ParameterError):
+            accuracy_sweep([], lambda seed: None, [0.1], [1])
+
+    def test_l0_sweep_shape(self):
+        points = l0_accuracy_sweep(
+            algorithms=["exact-l0"],
+            stream_factory=lambda seed: insert_delete_stream(
+                UNIVERSE, 300, delete_fraction=0.5, seed=seed
+            ),
+            eps_values=[0.2],
+            seeds=[1, 2],
+        )
+        assert len(points) == 1
+        assert points[0].summary.mean == 0.0
+
+    def test_space_sweep(self):
+        stream = distinct_items_stream(UNIVERSE, 300, seed=9)
+        result = space_sweep(["hyperloglog", "kmv"], stream, [0.2, 0.1])
+        assert set(result) == {"hyperloglog", "kmv"}
+        assert result["kmv"][0.1] > result["kmv"][0.2]
+
+
+class TestTables:
+    def test_format_bits(self):
+        assert format_bits(100) == "100 b"
+        assert "Kib" in format_bits(1 << 15)
+        assert "Mib" in format_bits(1 << 24)
+        with pytest.raises(ParameterError):
+            format_bits(-1)
+
+    def test_table_rendering(self):
+        table = Table("Demo", ["algo", "space"])
+        table.add_row(["knw", "1 Kib"])
+        table.add_row(["hll", "0.5 Kib"])
+        text = table.render_text()
+        assert "Demo" in text and "knw" in text
+        markdown = table.render_markdown()
+        assert markdown.count("|") >= 8
+        assert table.rows[0] == ["knw", "1 Kib"]
+
+    def test_table_validation(self):
+        with pytest.raises(ParameterError):
+            Table("x", [])
+        table = Table("x", ["a", "b"])
+        with pytest.raises(ParameterError):
+            table.add_row(["only-one"])

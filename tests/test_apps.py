@@ -1,0 +1,178 @@
+"""Tests for the database-domain applications (query optimiser, network, cleaning)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import (
+    ColumnStatisticsCollector,
+    FlowCardinalityMonitor,
+    SimilarColumnFinder,
+)
+from repro.exceptions import ParameterError
+from repro.streams import packet_trace, table_column
+
+UNIVERSE = 1 << 16
+
+
+class TestQueryOptimizer:
+    def test_ndv_per_column(self):
+        collector = ColumnStatisticsCollector(["customer_id", "country"], UNIVERSE, eps=0.1)
+        customers = table_column(UNIVERSE, rows=3000, distinct_values=1200, seed=1)
+        countries = table_column(UNIVERSE, rows=3000, distinct_values=60, seed=2)
+        collector.ingest_column("customer_id", [u.item for u in customers])
+        collector.ingest_column("country", [u.item for u in countries])
+        assert abs(collector.ndv("customer_id") - 1200) / 1200 < 0.3
+        assert abs(collector.ndv("country") - 60) / 60 < 0.1
+
+    def test_selectivity(self):
+        collector = ColumnStatisticsCollector(["c"], UNIVERSE, eps=0.1)
+        collector.ingest_column("c", list(range(100)))
+        assert collector.selectivity("c") == pytest.approx(1.0 / collector.ndv("c"))
+
+    def test_ingest_row_skips_nulls(self):
+        collector = ColumnStatisticsCollector(["a", "b"], UNIVERSE, eps=0.1)
+        collector.ingest_row({"a": 5, "b": None})
+        collector.ingest_row({"a": 6, "b": 7})
+        assert collector.ndv("a") == 2.0
+        assert collector.ndv("b") == 1.0
+
+    def test_union_ndv_and_join_estimate(self):
+        collector = ColumnStatisticsCollector(["orders_key", "customers_key"], UNIVERSE, eps=0.1)
+        shared = list(range(500))
+        collector.ingest_column("orders_key", shared * 4)
+        collector.ingest_column("customers_key", shared)
+        union = collector.union_ndv("orders_key", "customers_key")
+        assert abs(union - 500) / 500 < 0.2
+        join = collector.join_estimate("orders_key", "customers_key")
+        assert join.left_rows == 2000 and join.right_rows == 500
+        expected = 2000 * 500 / max(join.left_ndv, join.right_ndv)
+        assert join.estimated_rows == pytest.approx(expected)
+
+    def test_unknown_column_raises(self):
+        collector = ColumnStatisticsCollector(["a"], UNIVERSE)
+        with pytest.raises(ParameterError):
+            collector.ndv("missing")
+        with pytest.raises(ParameterError):
+            collector.ingest_row({"missing": 1})
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ParameterError):
+            ColumnStatisticsCollector(["a", "a"], UNIVERSE)
+
+    def test_space_accounting(self):
+        collector = ColumnStatisticsCollector(["a", "b", "c"], UNIVERSE, eps=0.2)
+        assert collector.space_bits() > 0
+
+
+class TestNetworkMonitor:
+    def test_window_reports_distinct_flows(self):
+        stream, records = packet_trace(
+            UNIVERSE, packets=4000, distinct_flows=600, seed=3
+        )
+        monitor = FlowCardinalityMonitor(
+            universe_size=UNIVERSE, eps=0.1, window_packets=2000, seed=4
+        )
+        reports = []
+        for record in records:
+            report = monitor.observe(record)
+            if report is not None:
+                reports.append(report)
+        final = monitor.flush()
+        if final is not None:
+            reports.append(final)
+        assert len(reports) == 2
+        assert all(report.packets == 2000 for report in reports)
+        assert all(report.distinct_flows > 0 for report in reports)
+
+    def test_port_scan_detection(self):
+        rng = random.Random(5)
+        _, normal = packet_trace(UNIVERSE, packets=1500, distinct_flows=120, seed=6)
+        _, scan = packet_trace(
+            UNIVERSE, packets=0, distinct_flows=1, scanner_destinations=600, seed=7
+        )
+        monitor = FlowCardinalityMonitor(
+            universe_size=UNIVERSE,
+            eps=0.1,
+            window_packets=10_000,
+            scan_fanout_threshold=300,
+            seed=8,
+        )
+        records = normal + scan
+        rng.shuffle(records)
+        for record in records:
+            monitor.observe(record)
+        report = monitor.flush()
+        assert report is not None
+        assert len(report.scan_suspects) == 1
+
+    def test_running_estimate_available(self):
+        monitor = FlowCardinalityMonitor(universe_size=UNIVERSE, window_packets=100, seed=9)
+        _, records = packet_trace(UNIVERSE, packets=50, distinct_flows=30, seed=10)
+        for record in records:
+            monitor.observe(record)
+        assert monitor.current_distinct_flows() >= 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FlowCardinalityMonitor(window_packets=0)
+        with pytest.raises(ParameterError):
+            FlowCardinalityMonitor(scan_fanout_threshold=0)
+
+
+class TestDataCleaning:
+    def test_identical_columns_are_most_similar(self):
+        rng = random.Random(11)
+        base = [rng.randrange(UNIVERSE) for _ in range(1500)]
+        copy = list(base)
+        shuffled = list(base)
+        rng.shuffle(shuffled)
+        different = [rng.randrange(UNIVERSE) for _ in range(1500)]
+        finder = SimilarColumnFinder(UNIVERSE, eps=0.1, seed=12)
+        finder.add_column("base", base)
+        finder.add_column("copy", copy)
+        finder.add_column("shuffled", shuffled)
+        finder.add_column("different", different)
+        pairs = finder.most_similar_pairs(top=6)
+        top_pair = {pairs[0].first, pairs[0].second}
+        # The exact copy and the shuffled copy both have Hamming distance 0
+        # from the base; either may rank first, but "different" must not.
+        assert "different" not in top_pair
+        assert pairs[0].similarity > 0.9
+
+    def test_row_order_does_not_matter(self):
+        rng = random.Random(13)
+        base = [rng.randrange(UNIVERSE) for _ in range(800)]
+        shuffled = list(base)
+        rng.shuffle(shuffled)
+        finder = SimilarColumnFinder(UNIVERSE, eps=0.1, seed=14)
+        estimate = finder.pair_report_streaming(base, shuffled)
+        assert estimate < 80  # near-zero Hamming distance
+
+    def test_dirty_copy_reports_moderate_distance(self):
+        rng = random.Random(15)
+        base = [rng.randrange(UNIVERSE) for _ in range(1000)]
+        dirty = list(base)
+        for position in rng.sample(range(1000), 200):
+            dirty[position] = rng.randrange(UNIVERSE)
+        finder = SimilarColumnFinder(UNIVERSE, eps=0.1, seed=16)
+        finder.add_column("base", base)
+        finder.add_column("dirty", dirty)
+        report = finder.pair_report("base", "dirty")
+        # Roughly 2 * 200 values have differing multiplicities.
+        assert 100 <= report.hamming_estimate <= 700
+        assert report.similarity < 1.0
+
+    def test_validation(self):
+        finder = SimilarColumnFinder(UNIVERSE)
+        finder.add_column("a", [1, 2, 3])
+        with pytest.raises(ParameterError):
+            finder.add_column("a", [1])
+        with pytest.raises(ParameterError):
+            finder.add_column("b", [UNIVERSE])
+        with pytest.raises(ParameterError):
+            finder.pair_report("a", "missing")
+        with pytest.raises(ParameterError):
+            finder.most_similar_pairs(top=0)

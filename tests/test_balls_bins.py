@@ -1,0 +1,106 @@
+"""Tests for the Section 2 balls-and-bins quantities and the inversion estimator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.balls_bins import (
+    expected_occupied_bins,
+    invert_occupancy,
+    occupancy_estimate_is_valid,
+    occupancy_statistics,
+    occupancy_variance_bound,
+    simulate_occupancy,
+)
+from repro.exceptions import ParameterError
+from repro.hashing.kwise import KWiseHash
+
+
+class TestClosedForms:
+    def test_expected_occupied_zero_balls(self):
+        assert expected_occupied_bins(0, 100) == 0.0
+
+    def test_expected_occupied_monotone_in_balls(self):
+        previous = 0.0
+        for balls in range(0, 500, 25):
+            value = expected_occupied_bins(balls, 128)
+            assert value >= previous
+            previous = value
+
+    def test_expected_occupied_upper_bounds(self):
+        # For A >> K the expectation approaches (and numerically rounds to) K.
+        assert expected_occupied_bins(10_000, 64) <= 64
+        assert expected_occupied_bins(3, 1000) <= 3
+
+    def test_variance_bound_formula(self):
+        assert occupancy_variance_bound(200, 8000) == pytest.approx(4 * 200 * 200 / 8000)
+
+    def test_validity_window(self):
+        assert occupancy_estimate_is_valid(100, 2000)
+        assert not occupancy_estimate_is_valid(50, 2000)
+        assert not occupancy_estimate_is_valid(200, 2000)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            expected_occupied_bins(-1, 10)
+        with pytest.raises(ParameterError):
+            occupancy_variance_bound(1, 0)
+
+
+class TestInversion:
+    def test_inversion_round_trip(self):
+        # invert(E[X]) should recover roughly the ball count.
+        for balls in (10, 50, 200, 800):
+            bins = 4096
+            expected = expected_occupied_bins(balls, bins)
+            recovered = invert_occupancy(int(round(expected)), bins)
+            assert abs(recovered - balls) / balls < 0.05
+
+    def test_inversion_edge_cases(self):
+        assert invert_occupancy(0, 100) == 0.0
+        # Saturation: T = K falls back to T = K - 1 rather than infinity.
+        assert invert_occupancy(100, 100) == invert_occupancy(99, 100)
+
+    def test_inversion_validation(self):
+        with pytest.raises(ParameterError):
+            invert_occupancy(5, 1)
+        with pytest.raises(ParameterError):
+            invert_occupancy(11, 10)
+
+
+class TestSimulation:
+    def test_truly_random_matches_fact1(self):
+        trials = simulate_occupancy(150, 1024, trials=60, seed=1)
+        stats = occupancy_statistics(trials)
+        expected = stats["expected_occupied"]
+        assert abs(stats["mean_occupied"] - expected) / expected < 0.05
+
+    def test_variance_within_lemma1_bound(self):
+        # Inside the Lemma 1 window (100 <= A <= K/20) the empirical variance
+        # should respect the 4A^2/K bound with ample slack.
+        trials = simulate_occupancy(120, 4096, trials=80, seed=2)
+        stats = occupancy_statistics(trials)
+        assert stats["variance_occupied"] <= stats["variance_bound"]
+
+    def test_kwise_family_matches_random_expectation(self):
+        # Lemma 2: limited independence preserves E[X] up to a small
+        # relative error.  Use the independence the paper asks for.
+        bins = 512
+        balls = 100
+
+        def factory(rng: random.Random):
+            return KWiseHash(balls, bins, independence=8, rng=rng)
+
+        limited = occupancy_statistics(
+            simulate_occupancy(balls, bins, trials=60, seed=3, hash_factory=factory)
+        )
+        expected = limited["expected_occupied"]
+        assert abs(limited["mean_occupied"] - expected) / expected < 0.08
+
+    def test_simulation_validation(self):
+        with pytest.raises(ParameterError):
+            simulate_occupancy(10, 10, trials=0)
+        with pytest.raises(ParameterError):
+            occupancy_statistics([])

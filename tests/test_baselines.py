@@ -1,0 +1,175 @@
+"""Tests for the Figure-1 baseline algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AMSDistinctEstimator,
+    BJKSTSampler,
+    FlajoletMartinPCSA,
+    GibbonsTirthapuraSampler,
+    HyperLogLogCounter,
+    KMinimumValues,
+    LinearCounter,
+    LogLogCounter,
+    MultiScaleBitmapCounter,
+    hll_registers_for_eps,
+    kmv_size_for_eps,
+    registers_for_eps,
+)
+from repro.exceptions import MergeError, ParameterError
+from repro.streams import distinct_items_stream, duplicated_union_streams
+
+UNIVERSE = 1 << 18
+TRUTH = 8000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return distinct_items_stream(UNIVERSE, TRUTH, repetitions=2, seed=500)
+
+
+def relative(estimate: float) -> float:
+    return abs(estimate - TRUTH) / TRUTH
+
+
+class TestSizing:
+    def test_loglog_registers_for_eps(self):
+        assert registers_for_eps(0.1) >= (1.3 / 0.1) ** 2 / 2
+        with pytest.raises(ParameterError):
+            registers_for_eps(0.0)
+
+    def test_hll_registers_for_eps(self):
+        assert hll_registers_for_eps(0.05) >= 256
+
+    def test_kmv_size_for_eps(self):
+        assert kmv_size_for_eps(0.1) == 100
+        assert kmv_size_for_eps(0.9) == 16
+
+
+class TestAccuracy:
+    def test_flajolet_martin(self, workload):
+        estimator = FlajoletMartinPCSA(UNIVERSE, maps=128, seed=1)
+        assert relative(estimator.process_stream(workload)) < 0.25
+
+    def test_ams_constant_factor_only(self, workload):
+        estimator = AMSDistinctEstimator(UNIVERSE, seed=2)
+        estimate = estimator.process_stream(workload)
+        assert TRUTH / 8 <= estimate <= TRUTH * 8
+
+    def test_gibbons_tirthapura(self, workload):
+        estimator = GibbonsTirthapuraSampler(UNIVERSE, eps=0.1, seed=3)
+        assert relative(estimator.process_stream(workload)) < 0.2
+
+    def test_kmv(self, workload):
+        estimator = KMinimumValues(UNIVERSE, eps=0.1, seed=4)
+        assert relative(estimator.process_stream(workload)) < 0.25
+
+    def test_kmv_exact_below_k(self):
+        estimator = KMinimumValues(UNIVERSE, k=256, seed=5)
+        for item in range(100):
+            estimator.update(item)
+        assert estimator.estimate() == 100.0
+
+    def test_bjkst(self, workload):
+        estimator = BJKSTSampler(UNIVERSE, eps=0.1, seed=6)
+        assert relative(estimator.process_stream(workload)) < 0.2
+
+    def test_loglog(self, workload):
+        estimator = LogLogCounter(UNIVERSE, eps=0.05, seed=7)
+        assert relative(estimator.process_stream(workload)) < 0.25
+
+    def test_hyperloglog(self, workload):
+        estimator = HyperLogLogCounter(UNIVERSE, eps=0.05, seed=8)
+        assert relative(estimator.process_stream(workload)) < 0.15
+
+    def test_hyperloglog_small_range_correction(self):
+        estimator = HyperLogLogCounter(UNIVERSE, registers=256, seed=9)
+        for item in range(50):
+            estimator.update(item)
+        assert abs(estimator.estimate() - 50) / 50 < 0.3
+
+    def test_linear_counting_accurate_at_low_load(self, workload):
+        estimator = LinearCounter(UNIVERSE, bits=65536, seed=10)
+        assert relative(estimator.process_stream(workload)) < 0.05
+
+    def test_linear_counting_saturates_gracefully(self):
+        estimator = LinearCounter(UNIVERSE, bits=64, seed=11)
+        for item in range(5000):
+            estimator.update(item)
+        assert estimator.estimate() > 0  # finite, no crash
+
+    def test_multiscale_bitmap(self, workload):
+        estimator = MultiScaleBitmapCounter(UNIVERSE, bits_per_scale=1024, seed=12)
+        assert relative(estimator.process_stream(workload)) < 0.3
+
+
+class TestMergeability:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: FlajoletMartinPCSA(UNIVERSE, maps=64, seed=seed),
+            lambda seed: AMSDistinctEstimator(UNIVERSE, seed=seed),
+            lambda seed: GibbonsTirthapuraSampler(UNIVERSE, eps=0.2, seed=seed),
+            lambda seed: KMinimumValues(UNIVERSE, eps=0.2, seed=seed),
+            lambda seed: BJKSTSampler(UNIVERSE, eps=0.2, seed=seed),
+            lambda seed: LogLogCounter(UNIVERSE, eps=0.1, seed=seed),
+            lambda seed: HyperLogLogCounter(UNIVERSE, eps=0.1, seed=seed),
+            lambda seed: LinearCounter(UNIVERSE, bits=8192, seed=seed),
+        ],
+    )
+    def test_merge_equals_union_pass(self, factory):
+        left, right = duplicated_union_streams(UNIVERSE, 1200, overlap_fraction=0.5, seed=700)
+        union = left.concat(right)
+        merged = factory(99)
+        other = factory(99)
+        solo = factory(99)
+        merged.process_stream(left)
+        other.process_stream(right)
+        solo.process_stream(union)
+        merged.merge(other)
+        assert merged.estimate() == pytest.approx(solo.estimate(), rel=1e-9)
+
+    def test_merge_rejects_different_seeds(self):
+        a = HyperLogLogCounter(UNIVERSE, eps=0.1, seed=1)
+        b = HyperLogLogCounter(UNIVERSE, eps=0.1, seed=2)
+        with pytest.raises(MergeError):
+            a.merge(b)
+
+    def test_merge_rejects_wrong_type(self):
+        a = KMinimumValues(UNIVERSE, eps=0.2, seed=1)
+        b = LogLogCounter(UNIVERSE, eps=0.2, seed=1)
+        with pytest.raises(MergeError):
+            a.merge(b)
+
+
+class TestSpaceAccounting:
+    def test_oracle_model_flagged(self):
+        assert HyperLogLogCounter(UNIVERSE, eps=0.1, seed=1).requires_random_oracle
+        assert LogLogCounter(UNIVERSE, eps=0.1, seed=1).requires_random_oracle
+        assert FlajoletMartinPCSA(UNIVERSE, seed=1).requires_random_oracle
+        assert not KMinimumValues(UNIVERSE, eps=0.1, seed=1).requires_random_oracle
+        assert not BJKSTSampler(UNIVERSE, eps=0.1, seed=1).requires_random_oracle
+
+    def test_register_sketches_are_small(self):
+        hll = HyperLogLogCounter(UNIVERSE, eps=0.05, seed=1)
+        kmv = KMinimumValues(UNIVERSE, eps=0.05, seed=1)
+        # HLL registers are log log n bits each; KMV stores log n bits per
+        # value — the classic space gap in Figure 1.
+        assert hll.space_bits() < kmv.space_bits()
+
+    def test_space_breakdowns_sum(self):
+        for estimator in (
+            FlajoletMartinPCSA(UNIVERSE, seed=1),
+            AMSDistinctEstimator(UNIVERSE, seed=1),
+            GibbonsTirthapuraSampler(UNIVERSE, eps=0.2, seed=1),
+            KMinimumValues(UNIVERSE, eps=0.2, seed=1),
+            BJKSTSampler(UNIVERSE, eps=0.2, seed=1),
+            LogLogCounter(UNIVERSE, eps=0.1, seed=1),
+            HyperLogLogCounter(UNIVERSE, eps=0.1, seed=1),
+            LinearCounter(UNIVERSE, bits=1024, seed=1),
+            MultiScaleBitmapCounter(UNIVERSE, bits_per_scale=256, seed=1),
+        ):
+            breakdown = estimator.space_breakdown().as_dict()
+            assert estimator.space_bits() == sum(breakdown.values())

@@ -1,0 +1,135 @@
+"""Tests for the word-level bit operations (paper Theorem 5 stand-ins)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hashing.bitops import (
+    WORD_SIZE,
+    ceil_log2,
+    floor_log2,
+    is_power_of_two,
+    lsb,
+    lsb64,
+    msb,
+    msb64,
+    popcount,
+    reverse_bits,
+)
+
+
+class TestLsb:
+    def test_lsb_of_powers_of_two(self):
+        for exponent in range(60):
+            assert lsb(1 << exponent) == exponent
+
+    def test_lsb_matches_paper_example(self):
+        # The paper's Section 1.2 example: lsb(6) = 1.
+        assert lsb(6) == 1
+
+    def test_lsb_of_odd_numbers_is_zero(self):
+        for value in (1, 3, 5, 7, 99, 12345, (1 << 40) + 1):
+            assert lsb(value) == 0
+
+    def test_lsb_zero_uses_sentinel(self):
+        assert lsb(0, zero_value=20) == 20
+
+    def test_lsb_zero_without_sentinel_raises(self):
+        with pytest.raises(ParameterError):
+            lsb(0)
+
+    def test_lsb_negative_raises(self):
+        with pytest.raises(ParameterError):
+            lsb(-1)
+
+    def test_lsb_beyond_word_size(self):
+        assert lsb(1 << 100) == 100
+
+    def test_lsb64_agrees_with_generic(self):
+        for value in range(1, 2000):
+            assert lsb64(value) == lsb(value)
+
+    def test_lsb64_rejects_zero_and_oversized(self):
+        with pytest.raises(ParameterError):
+            lsb64(0)
+        with pytest.raises(ParameterError):
+            lsb64(1 << 64)
+
+
+class TestMsb:
+    def test_msb_of_powers_of_two(self):
+        for exponent in range(60):
+            assert msb(1 << exponent) == exponent
+
+    def test_msb_is_floor_log2(self):
+        for value in range(1, 3000):
+            assert msb(value) == value.bit_length() - 1
+
+    def test_msb_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            msb(0)
+        with pytest.raises(ParameterError):
+            msb(-4)
+
+    def test_msb64_agrees_with_generic(self):
+        for value in (1, 2, 3, 255, 256, 65535, (1 << 63) - 1):
+            assert msb64(value) == msb(value)
+
+    def test_msb_beyond_word_size(self):
+        assert msb((1 << 90) + 17) == 90
+
+
+class TestLogHelpers:
+    def test_floor_log2(self):
+        assert floor_log2(1) == 0
+        assert floor_log2(2) == 1
+        assert floor_log2(1023) == 9
+
+    def test_ceil_log2_exact_powers(self):
+        for exponent in range(20):
+            assert ceil_log2(1 << exponent) == exponent
+
+    def test_ceil_log2_between_powers(self):
+        assert ceil_log2(3) == 2
+        assert ceil_log2(5) == 3
+        assert ceil_log2(1025) == 11
+
+    def test_ceil_log2_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            ceil_log2(0)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-8)
+
+
+class TestBitManipulation:
+    def test_reverse_bits_round_trip(self):
+        for value in range(256):
+            assert reverse_bits(reverse_bits(value, 8), 8) == value
+
+    def test_reverse_bits_known_value(self):
+        assert reverse_bits(0b0001, 4) == 0b1000
+        assert reverse_bits(0b1011, 4) == 0b1101
+
+    def test_reverse_bits_validates(self):
+        with pytest.raises(ParameterError):
+            reverse_bits(16, 4)
+        with pytest.raises(ParameterError):
+            reverse_bits(-1, 4)
+        with pytest.raises(ParameterError):
+            reverse_bits(1, 0)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 64) - 1) == 64
+        with pytest.raises(ParameterError):
+            popcount(-1)
+
+    def test_word_size_constant(self):
+        assert WORD_SIZE == 64

@@ -1,0 +1,86 @@
+"""Tests for the shared F0 hash bundle (h1, h2, h3 of Figures 2-4)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.hashes import F0HashBundle
+from repro.exceptions import ParameterError
+from repro.hashing.kwise import KWiseHash
+from repro.hashing.siegel import SiegelHash
+
+UNIVERSE = 1 << 16
+
+
+class TestConstruction:
+    def test_requires_power_of_two_bins(self):
+        with pytest.raises(ParameterError):
+            F0HashBundle(UNIVERSE, 100, eps_hint=0.1)
+        with pytest.raises(ParameterError):
+            F0HashBundle(UNIVERSE, 16, eps_hint=0.1)
+
+    def test_requires_valid_eps_and_universe(self):
+        with pytest.raises(ParameterError):
+            F0HashBundle(UNIVERSE, 64, eps_hint=0.0)
+        with pytest.raises(ParameterError):
+            F0HashBundle(1, 64, eps_hint=0.1)
+
+    def test_extended_bins_is_twice_bins(self):
+        bundle = F0HashBundle(UNIVERSE, 128, eps_hint=0.1, seed=1)
+        assert bundle.extended_bins == 256
+
+    def test_h3_family_choice(self):
+        slow = F0HashBundle(UNIVERSE, 64, eps_hint=0.1, seed=1)
+        fast = F0HashBundle(UNIVERSE, 64, eps_hint=0.1, seed=1, use_fast_family=True)
+        assert isinstance(slow.h3, KWiseHash)
+        assert isinstance(fast.h3, SiegelHash)
+
+    def test_level_limit_matches_universe(self):
+        bundle = F0HashBundle(1 << 12, 64, eps_hint=0.1, seed=1)
+        assert bundle.level_limit == 12
+
+
+class TestPerItemQuantities:
+    def test_main_bin_is_extended_bin_mod_k(self):
+        bundle = F0HashBundle(UNIVERSE, 128, eps_hint=0.1, seed=2)
+        for item in range(0, UNIVERSE, 997):
+            assert bundle.main_bin(item) == bundle.extended_bin(item) % 128
+
+    def test_levels_within_range(self):
+        bundle = F0HashBundle(UNIVERSE, 64, eps_hint=0.1, seed=3)
+        for item in range(0, 2000, 7):
+            assert 0 <= bundle.level(item) <= bundle.level_limit
+
+    def test_level_distribution_is_geometric(self):
+        # P[level >= b] should be about 2^-b: check the first few levels on
+        # a deterministic sample of items.
+        bundle = F0HashBundle(UNIVERSE, 64, eps_hint=0.1, seed=4)
+        levels = Counter(bundle.level(item) for item in range(8192))
+        at_least_1 = sum(count for level, count in levels.items() if level >= 1)
+        at_least_3 = sum(count for level, count in levels.items() if level >= 3)
+        assert 0.35 < at_least_1 / 8192 < 0.65
+        assert 0.06 < at_least_3 / 8192 < 0.20
+
+    def test_extended_bin_memo_is_transparent(self):
+        bundle = F0HashBundle(UNIVERSE, 64, eps_hint=0.1, seed=5)
+        first = bundle.extended_bin(1234)
+        # Interleave another key, then re-query: the one-entry memo must not
+        # leak a stale value.
+        other = bundle.extended_bin(4321)
+        assert bundle.extended_bin(1234) == first
+        assert bundle.extended_bin(4321) == other
+
+    def test_same_seed_same_functions(self):
+        a = F0HashBundle(UNIVERSE, 64, eps_hint=0.1, seed=6)
+        b = F0HashBundle(UNIVERSE, 64, eps_hint=0.1, seed=6)
+        for item in range(0, 3000, 101):
+            assert a.level(item) == b.level(item)
+            assert a.extended_bin(item) == b.extended_bin(item)
+
+    def test_space_breakdown_sums(self):
+        bundle = F0HashBundle(UNIVERSE, 64, eps_hint=0.1, seed=7)
+        breakdown = bundle.space_breakdown().as_dict()
+        assert set(breakdown) == {"h1", "h2", "h3"}
+        assert bundle.space_bits() == sum(breakdown.values())

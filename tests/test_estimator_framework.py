@@ -1,0 +1,179 @@
+"""Tests for the estimator framework: base classes, exact references, median, registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimators import (
+    ExactDistinctCounter,
+    ExactHammingNorm,
+    MedianEstimator,
+    MedianTurnstileEstimator,
+    describe_estimator,
+    repetitions_for_failure_probability,
+)
+from repro.estimators.registry import (
+    f0_algorithm_names,
+    l0_algorithm_names,
+    make_f0_estimator,
+    make_l0_estimator,
+)
+from repro.exceptions import MergeError, ParameterError, SketchFailure, UpdateError
+from repro.streams import distinct_items_stream, insert_delete_stream
+
+
+class TestExactCounters:
+    def test_exact_f0(self):
+        counter = ExactDistinctCounter(1000)
+        counter.update_many([1, 2, 2, 3, 999])
+        assert counter.estimate() == 4.0
+        assert 2 in counter
+
+    def test_exact_f0_merge(self):
+        a = ExactDistinctCounter(1000)
+        b = ExactDistinctCounter(1000)
+        a.update_many([1, 2])
+        b.update_many([2, 3, 4])
+        a.merge(b)
+        assert a.estimate() == 4.0
+
+    def test_exact_f0_merge_type_check(self):
+        with pytest.raises(MergeError):
+            ExactDistinctCounter(10).merge(ExactHammingNorm(10))  # type: ignore[arg-type]
+
+    def test_exact_f0_space_grows(self):
+        counter = ExactDistinctCounter(1 << 20)
+        before = counter.space_bits()
+        counter.update_many(range(100))
+        assert counter.space_bits() > before
+
+    def test_exact_f0_rejects_deletions_via_process_stream(self):
+        counter = ExactDistinctCounter(100)
+        stream = insert_delete_stream(100, 10, seed=1)
+        with pytest.raises(UpdateError):
+            counter.process_stream(stream)
+
+    def test_exact_l0(self):
+        norm = ExactHammingNorm(1000)
+        norm.update(5, 3)
+        norm.update(5, -3)
+        norm.update(7, 1)
+        assert norm.estimate() == 1.0
+        assert norm.frequency(5) == 0
+        assert norm.frequency(7) == 1
+
+    def test_exact_l0_process_stream(self, turnstile_stream):
+        norm = ExactHammingNorm(turnstile_stream.universe_size)
+        assert norm.process_stream(turnstile_stream) == turnstile_stream.ground_truth()
+
+    def test_describe_estimator(self):
+        text = describe_estimator(ExactDistinctCounter(100))
+        assert "exact-f0" in text and "bits" in text
+
+
+class TestMedianAmplification:
+    def test_repetitions_for_failure_probability(self):
+        few = repetitions_for_failure_probability(0.1)
+        many = repetitions_for_failure_probability(0.001)
+        assert few < many
+        assert few % 2 == 1 and many % 2 == 1
+        with pytest.raises(ParameterError):
+            repetitions_for_failure_probability(0.0)
+
+    def test_median_estimator_over_exact_copies(self):
+        wrapper = MedianEstimator(lambda index: ExactDistinctCounter(1000), repetitions=3)
+        wrapper.update_many([1, 2, 3, 3])
+        assert wrapper.estimate() == 3.0
+        assert wrapper.space_bits() == sum(copy.space_bits() for copy in wrapper.copies)
+
+    def test_median_requires_odd_repetitions(self):
+        with pytest.raises(ParameterError):
+            MedianEstimator(lambda index: ExactDistinctCounter(10), repetitions=4)
+
+    def test_median_skips_failed_copies(self):
+        class Failing(ExactDistinctCounter):
+            def estimate(self) -> float:
+                raise SketchFailure("boom")
+
+        def factory(index: int):
+            return Failing(100) if index == 0 else ExactDistinctCounter(100)
+
+        wrapper = MedianEstimator(factory, repetitions=3)
+        wrapper.update_many([1, 2])
+        assert wrapper.estimate() == 2.0
+
+    def test_median_all_failed_raises(self):
+        class Failing(ExactDistinctCounter):
+            def estimate(self) -> float:
+                raise SketchFailure("boom")
+
+        wrapper = MedianEstimator(lambda index: Failing(100), repetitions=1)
+        with pytest.raises(SketchFailure):
+            wrapper.estimate()
+
+    def test_median_turnstile(self):
+        wrapper = MedianTurnstileEstimator(
+            lambda index: ExactHammingNorm(100), repetitions=3
+        )
+        wrapper.update(1, 5)
+        wrapper.update(1, -5)
+        wrapper.update(2, 1)
+        assert wrapper.estimate() == 1.0
+
+    def test_median_improves_knw_tail(self, medium_stream):
+        from repro.core import KNWDistinctCounter
+
+        truth = medium_stream.ground_truth()
+        wrapper = MedianEstimator(
+            lambda index: KNWDistinctCounter(
+                medium_stream.universe_size, eps=0.1, seed=1000 + index
+            ),
+            repetitions=3,
+        )
+        for update in medium_stream:
+            wrapper.update(update.item)
+        assert abs(wrapper.estimate() - truth) / truth < 0.35
+
+
+class TestRegistry:
+    def test_f0_names_include_core_and_baselines(self):
+        names = f0_algorithm_names()
+        for expected in ("knw", "knw-fast", "knw-paper", "hyperloglog", "kmv", "exact"):
+            assert expected in names
+
+    def test_l0_names(self):
+        names = l0_algorithm_names()
+        assert "knw-l0" in names and "ganguly" in names and "exact-l0" in names
+
+    def test_make_f0_estimator_unknown_name(self):
+        with pytest.raises(ParameterError):
+            make_f0_estimator("no-such-algorithm", 100, 0.1)
+
+    # Algorithms whose guarantee at this stream size is only constant-factor
+    # (AMS by design; the literal paper-constant KNW configurations have a
+    # large hidden constant at practical eps — see DESIGN.md section 5).
+    CONSTANT_FACTOR_ONLY = {"ams", "knw-paper", "knw-l0-paper"}
+
+    def test_every_f0_algorithm_runs(self):
+        stream = distinct_items_stream(1 << 14, 300, repetitions=2, seed=44)
+        truth = stream.ground_truth()
+        for name in f0_algorithm_names():
+            estimator = make_f0_estimator(name, stream.universe_size, 0.15, seed=5)
+            estimate = estimator.process_stream(stream)
+            assert estimate >= 0
+            if name in self.CONSTANT_FACTOR_ONLY:
+                assert truth / 8 <= estimate <= 8 * truth, name
+            else:
+                assert abs(estimate - truth) / truth < 0.6, name
+
+    def test_every_l0_algorithm_runs(self):
+        stream = insert_delete_stream(1 << 12, 400, delete_fraction=0.5, seed=45)
+        truth = stream.ground_truth()
+        for name in l0_algorithm_names():
+            estimator = make_l0_estimator(name, stream.universe_size, 0.15, 4, seed=5)
+            estimate = estimator.process_stream(stream)
+            assert estimate >= 0
+            if name in self.CONSTANT_FACTOR_ONLY:
+                assert truth / 8 <= estimate <= 8 * truth, name
+            else:
+                assert abs(estimate - truth) / truth < 0.6, name

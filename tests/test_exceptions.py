@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy and its use across the library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    MergeError,
+    ParameterError,
+    ReproError,
+    SketchFailure,
+    StreamFormatError,
+    UpdateError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exception_type in (
+            ParameterError,
+            SketchFailure,
+            UpdateError,
+            MergeError,
+            StreamFormatError,
+        ):
+            assert issubclass(exception_type, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Parameter/update/merge/stream problems should also be catchable as
+        # ValueError by callers that do not know about the library hierarchy.
+        for exception_type in (ParameterError, UpdateError, MergeError, StreamFormatError):
+            assert issubclass(exception_type, ValueError)
+
+    def test_sketch_failure_is_runtime_error(self):
+        assert issubclass(SketchFailure, RuntimeError)
+
+
+class TestSingleCatchAll:
+    def test_library_errors_catchable_with_one_clause(self):
+        from repro.core import KNWDistinctCounter
+
+        counter = KNWDistinctCounter(1 << 10, eps=0.2, seed=1)
+        with pytest.raises(ReproError):
+            counter.update(1 << 10)  # outside the universe
+
+        from repro.streams import MaterializedStream, Update
+
+        with pytest.raises(ReproError):
+            MaterializedStream([Update(99, 1)], universe_size=10)
+
+        from repro.estimators import ExactDistinctCounter, ExactHammingNorm
+
+        with pytest.raises(ReproError):
+            ExactDistinctCounter(10).merge(ExactHammingNorm(10))  # type: ignore[arg-type]

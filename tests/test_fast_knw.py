@@ -1,0 +1,104 @@
+"""Tests for the time-optimal KNW implementation (Section 3.4 / Theorem 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FastKNWDistinctCounter, FastKNWSketch, KNWDistinctCounter
+from repro.exceptions import ParameterError, SketchFailure
+from repro.streams import distinct_items_stream, zipf_stream
+
+UNIVERSE = 1 << 16
+
+
+class TestFastSketch:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            FastKNWSketch(1)
+        with pytest.raises(ParameterError):
+            FastKNWSketch(UNIVERSE, bins=100)
+        with pytest.raises(ParameterError):
+            FastKNWSketch(UNIVERSE, bins=64, offset_divisor=7)
+
+    def test_accuracy_matches_reference_order(self):
+        stream = distinct_items_stream(UNIVERSE, 5000, repetitions=1, seed=80)
+        fast = FastKNWSketch(UNIVERSE, eps=0.1, seed=5, offset_divisor=2)
+        estimate = fast.process_stream(stream)
+        assert abs(estimate - 5000) / 5000 < 0.3
+
+    def test_occupied_counters_consistent_with_histogram(self):
+        sketch = FastKNWSketch(UNIVERSE, eps=0.1, seed=6, offset_divisor=2)
+        for item in range(2000):
+            sketch.update(item)
+        # The O(1) histogram count must agree with a direct scan of the
+        # effective counter values.
+        direct = sum(
+            1 for index in range(sketch.bins) if sketch._effective_read(index) >= 0
+        )
+        assert sketch.occupied_counters() == direct
+
+    def test_storage_normalisation_matches_effective_values(self):
+        sketch = FastKNWSketch(UNIVERSE, eps=0.1, seed=7, offset_divisor=2)
+        for item in range(4000):
+            sketch.update(item)
+        # Finish any pending sweep, then storage must equal effective values.
+        sketch._finish_sweep()
+        for index in range(sketch.bins):
+            assert sketch._storage.read(index) - 1 == sketch._effective_read(index)
+
+    def test_estimate_zero_before_updates(self):
+        sketch = FastKNWSketch(UNIVERSE, eps=0.1, seed=8)
+        assert sketch.estimate() == 0.0
+
+    def test_fail_raises(self):
+        sketch = FastKNWSketch(UNIVERSE, eps=0.1, seed=9)
+        sketch._failed = True
+        with pytest.raises(SketchFailure):
+            sketch.estimate()
+
+    def test_space_breakdown_contains_vla_and_lookup(self):
+        sketch = FastKNWSketch(UNIVERSE, eps=0.1, seed=10)
+        breakdown = sketch.space_breakdown().as_dict()
+        assert "vla-counters" in breakdown
+        assert "log-lookup-table" in breakdown
+        assert sketch.space_bits() == sum(breakdown.values())
+
+
+class TestFastCombinedCounter:
+    def test_exact_for_tiny_cardinalities(self):
+        counter = FastKNWDistinctCounter(UNIVERSE, eps=0.05, seed=11)
+        for item in [1, 2, 2, 3]:
+            counter.update(item)
+        assert counter.estimate() == 3.0
+
+    def test_accuracy_on_medium_stream(self, medium_stream):
+        counter = FastKNWDistinctCounter(UNIVERSE, eps=0.05, seed=12)
+        truth = medium_stream.ground_truth()
+        estimate = counter.process_stream(medium_stream)
+        assert abs(estimate - truth) / truth < 0.25
+
+    def test_agreement_with_reference_implementation(self):
+        # Both implementations target the same guarantee; on the same stream
+        # their estimates should land in the same neighbourhood of the truth.
+        stream = zipf_stream(UNIVERSE, 6000, seed=81)
+        truth = stream.ground_truth()
+        fast = FastKNWDistinctCounter(UNIVERSE, eps=0.1, seed=13)
+        reference = KNWDistinctCounter(UNIVERSE, eps=0.1, seed=13)
+        fast_estimate = fast.process_stream(stream)
+        reference_estimate = reference.process_stream(stream)
+        assert abs(fast_estimate - truth) / truth < 0.35
+        assert abs(reference_estimate - truth) / truth < 0.35
+
+    def test_mid_stream_reporting_is_available(self):
+        counter = FastKNWDistinctCounter(UNIVERSE, eps=0.1, seed=14)
+        for item in range(3000):
+            counter.update(item)
+            if item % 500 == 499:
+                estimate = counter.estimate()
+                assert abs(estimate - (item + 1)) / (item + 1) < 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            FastKNWDistinctCounter(UNIVERSE, eps=1.5)
+        with pytest.raises(ParameterError):
+            FastKNWDistinctCounter(1)

@@ -1,0 +1,116 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full pipelines the examples and benchmarks rely on:
+dataset -> estimator -> analysis harness -> tables, mid-stream reporting,
+and the small-to-large regime handover of the combined estimators.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FastKNWDistinctCounter,
+    KNWDistinctCounter,
+    KNWHammingNormEstimator,
+    MedianEstimator,
+    make_f0_estimator,
+)
+from repro.analysis import Table, format_bits, run_f0, run_l0_by_name, space_sweep
+from repro.streams import (
+    insert_delete_stream,
+    packet_trace,
+    query_log,
+    table_column,
+)
+
+UNIVERSE = 1 << 16
+
+
+class TestEndToEndF0:
+    def test_query_log_pipeline(self):
+        stream = query_log(UNIVERSE, queries=6000, distinct_queries=1500, seed=1)
+        counter = KNWDistinctCounter(UNIVERSE, eps=0.05, seed=2)
+        result = run_f0(counter, stream, checkpoint_positions=stream.checkpoints(3))
+        assert result.truth == 1500
+        assert result.relative_error < 0.25
+        assert len(result.checkpoints) == 3
+        # Estimates must be available (and sane) at every checkpoint.
+        for checkpoint in result.checkpoints:
+            assert checkpoint.estimate >= 0
+
+    def test_packet_trace_pipeline_fast_variant(self):
+        stream, _ = packet_trace(UNIVERSE, packets=5000, distinct_flows=900, seed=3)
+        counter = FastKNWDistinctCounter(UNIVERSE, eps=0.05, seed=4)
+        result = run_f0(counter, stream)
+        assert result.relative_error < 0.3
+
+    def test_handover_continuity(self):
+        # The estimate must stay sane across the small-F0 -> Figure 3
+        # handover (no order-of-magnitude jump at the switch point).
+        counter = KNWDistinctCounter(UNIVERSE, eps=0.1, seed=5)
+        previous = 0.0
+        for item in range(1500):
+            counter.update(item)
+            if item % 25 == 24:
+                estimate = counter.estimate()
+                truth = item + 1
+                assert 0.4 * truth <= estimate <= 2.5 * truth
+                assert estimate >= 0.4 * previous
+                previous = estimate
+
+    def test_median_wrapper_over_registry_algorithm(self):
+        stream = table_column(UNIVERSE, rows=4000, distinct_values=800, seed=6)
+        wrapper = MedianEstimator(
+            lambda index: make_f0_estimator("knw", UNIVERSE, 0.1, seed=100 + index),
+            repetitions=3,
+        )
+        result = run_f0(wrapper, stream)
+        assert result.relative_error < 0.25
+        assert result.space_bits == wrapper.space_bits()
+
+
+class TestEndToEndL0:
+    def test_turnstile_pipeline_by_name(self):
+        stream = insert_delete_stream(UNIVERSE, 2500, delete_fraction=0.4, copies=2, seed=7)
+        result = run_l0_by_name("knw-l0", stream, eps=0.1, seed=8)
+        assert result.relative_error < 0.3
+
+    def test_knw_l0_and_ganguly_agree_on_insert_only(self):
+        stream = insert_delete_stream(UNIVERSE, 1200, delete_fraction=0.0, seed=9)
+        truth = stream.ground_truth()
+        knw = KNWHammingNormEstimator(UNIVERSE, eps=0.1, magnitude_bound=4, seed=10)
+        knw_estimate = knw.process_stream(stream)
+        assert abs(knw_estimate - truth) / truth < 0.3
+
+
+class TestReporting:
+    def test_space_sweep_feeds_table(self):
+        stream = table_column(UNIVERSE, rows=1500, distinct_values=400, seed=11)
+        sweep = space_sweep(["knw", "hyperloglog"], stream, [0.1])
+        table = Table("Space at eps=0.1", ["algorithm", "bits"])
+        for algorithm, per_eps in sorted(sweep.items()):
+            table.add_row([algorithm, format_bits(per_eps[0.1])])
+        rendering = table.render_text()
+        assert "knw" in rendering and "hyperloglog" in rendering
+
+    def test_sketch_sizes_are_universe_scale_independent_of_stream_length(self):
+        short = table_column(UNIVERSE, rows=500, distinct_values=200, seed=12)
+        long = table_column(UNIVERSE, rows=5000, distinct_values=200, seed=12)
+        counter_short = KNWDistinctCounter(UNIVERSE, eps=0.1, seed=13)
+        counter_long = KNWDistinctCounter(UNIVERSE, eps=0.1, seed=13)
+        counter_short.process_stream(short)
+        counter_long.process_stream(long)
+        # Same distinct count, 10x the stream length: the sketch must not grow.
+        assert counter_long.space_bits() <= counter_short.space_bits() * 1.05
+
+
+@pytest.mark.parametrize("eps", [0.2, 0.1, 0.05])
+def test_space_grows_as_inverse_square_of_eps(eps):
+    counter = KNWDistinctCounter(UNIVERSE, eps=eps, seed=20)
+    # The counter storage term must be Theta(1/eps^2) bits: allow generous
+    # constants but verify the right order of growth against eps=0.2.
+    reference = KNWDistinctCounter(UNIVERSE, eps=0.2, seed=20)
+    ratio = counter.bins / reference.bins
+    expected_ratio = (0.2 / eps) ** 2
+    assert 0.5 * expected_ratio <= ratio <= 2.0 * expected_ratio

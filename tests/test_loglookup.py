@@ -1,0 +1,54 @@
+"""Tests for the Appendix A.2 natural-log lookup table (Lemma 7)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bitstructs import LogLookupTable
+from repro.exceptions import ParameterError
+
+
+class TestLogLookupTable:
+    def test_requires_k_above_four(self):
+        with pytest.raises(ParameterError):
+            LogLookupTable(4)
+
+    def test_zero_maps_to_zero(self):
+        table = LogLookupTable(128)
+        assert table.lookup(0) == 0.0
+
+    def test_relative_accuracy_guarantee(self):
+        # Lemma 7: relative accuracy nu = 1/sqrt(K) for every c in [0, 4K/5].
+        for bins in (64, 256, 1024):
+            table = LogLookupTable(bins)
+            nu = table.relative_accuracy
+            for c in range(1, table.max_argument + 1):
+                assert table.relative_error(c) <= nu, (bins, c)
+
+    def test_exact_matches_math_log(self):
+        table = LogLookupTable(100)
+        assert table.exact(20) == pytest.approx(math.log(0.8))
+
+    def test_argument_bounds(self):
+        table = LogLookupTable(100)
+        with pytest.raises(ParameterError):
+            table.lookup(table.max_argument + 1)
+        with pytest.raises(ParameterError):
+            table.lookup(-1)
+
+    def test_space_is_sublinear_in_bins(self):
+        # Lemma 7 charges O(nu^-1 log(1/nu)) = O(sqrt(K) log K) bits, which
+        # must grow much more slowly than K itself.
+        small = LogLookupTable(256).space_bits()
+        large = LogLookupTable(256 * 16).space_bits()
+        assert large < 16 * small
+
+    def test_monotone_in_argument(self):
+        table = LogLookupTable(512)
+        previous = 0.0
+        for c in range(0, table.max_argument, 7):
+            value = table.lookup(c)
+            assert value <= previous + 1e-12
+            previous = value

@@ -1,0 +1,103 @@
+"""Tests for the prime utilities behind the field hashing and fingerprints."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hashing.primes import (
+    MERSENNE_31,
+    MERSENNE_61,
+    field_prime_for_universe,
+    is_prime,
+    next_prime,
+    prev_prime,
+    primes_in_range,
+    random_prime,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        known = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+        for value in range(50):
+            assert is_prime(value) == (value in known)
+
+    def test_mersenne_primes(self):
+        assert is_prime(MERSENNE_31)
+        assert is_prime(MERSENNE_61)
+
+    def test_carmichael_numbers_are_composite(self):
+        # Classic Fermat pseudoprimes that a naive test would accept.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(carmichael)
+
+    def test_large_composites(self):
+        assert not is_prime(MERSENNE_61 - 1)
+        assert not is_prime((1 << 61) + 1)
+
+
+class TestPrimeSearch:
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(14) == 17
+        assert next_prime(89) == 97
+
+    def test_prev_prime(self):
+        assert prev_prime(3) == 2
+        assert prev_prime(10) == 7
+        assert prev_prime(100) == 97
+
+    def test_prev_prime_rejects_small(self):
+        with pytest.raises(ParameterError):
+            prev_prime(2)
+
+    def test_primes_in_range(self):
+        assert list(primes_in_range(10, 30)) == [11, 13, 17, 19, 23, 29]
+
+    def test_primes_in_range_limit(self):
+        assert list(primes_in_range(2, 1000, limit=4)) == [2, 3, 5, 7]
+
+
+class TestRandomPrime:
+    def test_in_interval(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            prime = random_prime(1000, 5000, rng=rng)
+            assert 1000 <= prime <= 5000
+            assert is_prime(prime)
+
+    def test_reproducible_with_seeded_rng(self):
+        first = random_prime(100, 10000, rng=random.Random(9))
+        second = random_prime(100, 10000, rng=random.Random(9))
+        assert first == second
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ParameterError):
+            random_prime(24, 28)  # no prime between 24 and 28
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ParameterError):
+            random_prime(1, 10)
+        with pytest.raises(ParameterError):
+            random_prime(50, 40)
+
+
+class TestFieldPrime:
+    def test_small_universe_gets_small_prime(self):
+        prime = field_prime_for_universe(100)
+        assert prime >= 100
+        assert is_prime(prime)
+
+    def test_medium_universe_gets_mersenne31(self):
+        assert field_prime_for_universe(1 << 24) == MERSENNE_31
+
+    def test_large_universe_gets_mersenne61(self):
+        assert field_prime_for_universe(1 << 40) == MERSENNE_61
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            field_prime_for_universe(0)

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstructs import (
+    BitVector,
+    LogLookupTable,
+    PackedCounterArray,
+    VariableBitLengthArray,
+)
+from repro.core.balls_bins import expected_occupied_bins, invert_occupancy
+from repro.estimators.exact import ExactDistinctCounter, ExactHammingNorm
+from repro.hashing import KWiseHash, PairwiseHash, lsb, msb
+from repro.streams import MaterializedStream, Update
+
+
+# ---------------------------------------------------------------------------
+# Bit operations
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=(1 << 80)))
+def test_lsb_matches_arithmetic_definition(value):
+    position = lsb(value)
+    assert value % (1 << position) == 0
+    assert (value >> position) & 1 == 1
+
+
+@given(st.integers(min_value=1, max_value=(1 << 80)))
+def test_msb_matches_bit_length(value):
+    assert msb(value) == value.bit_length() - 1
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1), st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_lsb_of_product_of_powers(a, b):
+    # lsb(x * 2^k) = lsb(x) + k for x > 0.
+    if a == 0:
+        return
+    k = b % 16
+    assert lsb(a << k) == lsb(a) + k
+
+
+# ---------------------------------------------------------------------------
+# Bit structures
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=300))
+def test_bitvector_round_trip(bits):
+    vector = BitVector.from_bits(bits)
+    assert vector.to_list() == bits
+    assert vector.count_ones() == sum(bits)
+    assert vector.count_zeros() == len(bits) - sum(bits)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200),
+    st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200),
+)
+def test_bitvector_union_is_elementwise_or(left, right):
+    size = min(len(left), len(right))
+    a = BitVector.from_bits(left[:size])
+    b = BitVector.from_bits(right[:size])
+    a.union_update(b)
+    assert a.to_list() == [x | y for x, y in zip(left[:size], right[:size])]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=120))
+def test_vla_round_trip(values):
+    array = VariableBitLengthArray.from_values(values)
+    assert array.to_list() == values
+    assert array.payload_bits() == sum(max(v.bit_length(), 1) for v in values)
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=100),
+)
+def test_packed_counters_round_trip(width, values):
+    width = max(width, 8)
+    array = PackedCounterArray.from_values(values, width=width)
+    assert array.to_list() == values
+
+
+@given(st.integers(min_value=8, max_value=2048))
+def test_loglookup_error_bound_random_sizes(bins):
+    table = LogLookupTable(bins)
+    for c in range(0, table.max_argument + 1, max(table.max_argument // 17, 1)):
+        assert table.relative_error(c) <= table.relative_accuracy
+
+
+# ---------------------------------------------------------------------------
+# Balls and bins
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2000), st.integers(min_value=2, max_value=4096))
+def test_expected_occupancy_bounds(balls, bins):
+    value = expected_occupied_bins(balls, bins)
+    assert 0.0 <= value <= min(balls, bins)
+
+
+@given(st.integers(min_value=2, max_value=4096), st.data())
+def test_inversion_is_monotone(bins, data):
+    first = data.draw(st.integers(min_value=0, max_value=bins))
+    second = data.draw(st.integers(min_value=0, max_value=bins))
+    lo, hi = sorted((first, second))
+    assert invert_occupancy(lo, bins) <= invert_occupancy(hi, bins) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Hash families
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=2, max_value=1 << 20),
+    st.integers(min_value=1, max_value=1 << 12),
+    st.integers(),
+    st.data(),
+)
+def test_pairwise_hash_stays_in_range(universe, range_size, seed, data):
+    import random as _random
+
+    h = PairwiseHash(universe, range_size, rng=_random.Random(seed))
+    key = data.draw(st.integers(min_value=0, max_value=universe - 1))
+    assert 0 <= h(key) < range_size
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(), st.data())
+def test_kwise_hash_stays_in_range(independence, seed, data):
+    import random as _random
+
+    h = KWiseHash(1 << 16, 64, independence=independence, rng=_random.Random(seed))
+    key = data.draw(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    assert 0 <= h(key) < 64
+
+
+# ---------------------------------------------------------------------------
+# Exact estimators as executable specifications
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=499), max_size=400))
+def test_exact_f0_matches_set_semantics(items):
+    counter = ExactDistinctCounter(500)
+    counter.update_many(items)
+    assert counter.estimate() == len(set(items))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=199),
+            st.integers(min_value=-5, max_value=5).filter(lambda d: d != 0),
+        ),
+        max_size=300,
+    )
+)
+def test_exact_l0_matches_dictionary_semantics(updates):
+    norm = ExactHammingNorm(200)
+    frequencies = {}
+    for item, delta in updates:
+        norm.update(item, delta)
+        frequencies[item] = frequencies.get(item, 0) + delta
+        if frequencies[item] == 0:
+            del frequencies[item]
+    assert norm.estimate() == len(frequencies)
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=300),
+    st.integers(min_value=0, max_value=100),
+)
+def test_stream_ground_truth_prefix_consistency(items, prefix_fraction):
+    stream = MaterializedStream([Update(item, 1) for item in items], 1024)
+    position = (prefix_fraction * len(items)) // 100
+    prefix_truth = stream.ground_truth_at([position])[0]
+    assert prefix_truth == len(set(items[:position]))
+
+
+# ---------------------------------------------------------------------------
+# KNW sketch invariants (kept light: a handful of examples, small streams)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 14) - 1), min_size=1, max_size=400), st.integers(min_value=0, max_value=1 << 30))
+def test_knw_counter_never_fails_and_is_exact_when_tiny(items, seed):
+    from repro.core import KNWDistinctCounter
+
+    counter = KNWDistinctCounter(1 << 14, eps=0.2, seed=seed)
+    for item in items:
+        counter.update(item)
+    estimate = counter.estimate()
+    truth = len(set(items))
+    assert estimate >= 0.0
+    if truth <= 100:
+        assert estimate == truth
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 12) - 1),
+            st.sampled_from([-2, -1, 1, 2]),
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+    st.integers(min_value=0, max_value=1 << 30),
+)
+def test_knw_l0_exact_for_tiny_support(updates, seed):
+    from repro.l0 import KNWHammingNormEstimator
+
+    estimator = KNWHammingNormEstimator(1 << 12, eps=0.2, magnitude_bound=512, seed=seed)
+    frequencies = {}
+    for item, delta in updates:
+        estimator.update(item, delta)
+        frequencies[item] = frequencies.get(item, 0) + delta
+        if frequencies[item] == 0:
+            del frequencies[item]
+    truth = len(frequencies)
+    if truth <= 90:
+        assert estimator.estimate() == truth

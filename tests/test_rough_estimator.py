@@ -1,0 +1,129 @@
+"""Tests for RoughEstimator (Figure 2 / Theorem 1) and its fast variant (Lemma 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FastRoughEstimator, RoughEstimator, rough_counter_count
+from repro.exceptions import ParameterError
+from repro.streams import distinct_items_stream, growing_then_repeating_stream
+
+
+class TestParameters:
+    def test_rough_counter_count_formula(self):
+        # K_RE = max(8, log n / log log n): small universes hit the floor of 8.
+        assert rough_counter_count(1 << 10) == 8
+        assert rough_counter_count(1 << 20) >= 8
+        with pytest.raises(ParameterError):
+            rough_counter_count(1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            RoughEstimator(1)
+        with pytest.raises(ParameterError):
+            RoughEstimator(1 << 16, counters_per_copy=1)
+
+    def test_update_validates_universe(self):
+        estimator = RoughEstimator(1 << 10, seed=1)
+        with pytest.raises(ParameterError):
+            estimator.update(1 << 10)
+
+
+class TestGuarantees:
+    def test_returns_minus_one_before_committing(self):
+        estimator = RoughEstimator(1 << 16, seed=2)
+        assert estimator.estimate() == -1.0
+
+    def test_constant_factor_at_all_checkpoints(self, large_universe):
+        # Theorem 1: F0(t) <= estimate(t) <= 8 F0(t) for all t once
+        # F0(t) >= K_RE.  We check a relaxed constant-factor band (the
+        # guarantee is asymptotic; the band below is what the construction
+        # achieves at this finite size with margin).
+        stream = distinct_items_stream(large_universe, 20_000, repetitions=1, seed=21)
+        estimator = RoughEstimator(large_universe, counters_per_copy=16, seed=3)
+        threshold = 4 * estimator.counters_per_copy
+        seen = set()
+        for index, update in enumerate(stream):
+            estimator.update(update.item)
+            seen.add(update.item)
+            if index % 500 == 0 and len(seen) >= threshold:
+                estimate = estimator.estimate()
+                ratio = estimate / len(seen)
+                assert 0.5 <= ratio <= 16.0, (index, len(seen), estimate)
+
+    def test_estimate_is_monotone(self, large_universe):
+        stream = growing_then_repeating_stream(large_universe, 5_000, 5_000, seed=4)
+        estimator = RoughEstimator(large_universe, counters_per_copy=16, seed=5)
+        previous = -1.0
+        for index, update in enumerate(stream):
+            estimator.update(update.item)
+            if index % 250 == 0:
+                current = estimator.estimate()
+                assert current >= previous
+                previous = current
+
+    def test_estimate_stable_when_f0_stops_growing(self, large_universe):
+        stream = growing_then_repeating_stream(large_universe, 4_000, 8_000, seed=6)
+        estimator = RoughEstimator(large_universe, counters_per_copy=16, seed=7)
+        mid_estimate = None
+        for index, update in enumerate(stream):
+            estimator.update(update.item)
+            if index == 3_999:
+                mid_estimate = estimator.estimate()
+        final_estimate = estimator.estimate()
+        assert mid_estimate is not None
+        # During the repeat phase F0 does not change, so the estimate must
+        # not grow by more than the committed-power-of-two granularity.
+        assert final_estimate <= 2 * mid_estimate
+
+    def test_space_is_logarithmic_not_eps_dependent(self):
+        small = RoughEstimator(1 << 12, seed=8).space_bits()
+        large = RoughEstimator(1 << 24, seed=8).space_bits()
+        assert small < large < 40 * small
+        breakdown = RoughEstimator(1 << 16, seed=8).space_breakdown()
+        assert breakdown.total() > 0
+
+    def test_merge_max(self, large_universe):
+        left = distinct_items_stream(large_universe, 3_000, seed=30)
+        right = distinct_items_stream(large_universe, 3_000, seed=31)
+        merged = RoughEstimator(large_universe, counters_per_copy=16, seed=9)
+        solo = RoughEstimator(large_universe, counters_per_copy=16, seed=9)
+        other = RoughEstimator(large_universe, counters_per_copy=16, seed=9)
+        for update in left:
+            merged.update(update.item)
+            solo.update(update.item)
+        for update in right:
+            other.update(update.item)
+            solo.update(update.item)
+        merged.merge_max(other)
+        assert merged.estimate() == solo.estimate()
+
+    def test_merge_max_rejects_mismatched(self):
+        a = RoughEstimator(1 << 12, counters_per_copy=8, seed=1)
+        b = RoughEstimator(1 << 12, counters_per_copy=16, seed=1)
+        with pytest.raises(ParameterError):
+            a.merge_max(b)
+
+
+class TestFastVariant:
+    def test_fast_variant_constant_factor(self, large_universe):
+        stream = distinct_items_stream(large_universe, 15_000, repetitions=1, seed=41)
+        estimator = FastRoughEstimator(large_universe, counters_per_copy=16, seed=10)
+        seen = set()
+        threshold = 8 * estimator.counters_per_copy
+        for index, update in enumerate(stream):
+            estimator.update(update.item)
+            seen.add(update.item)
+            if index % 1000 == 999 and len(seen) >= threshold:
+                estimate = estimator.estimate()
+                ratio = estimate / len(seen)
+                # Lemma 5 degrades the guarantee to a 16-approximation; the
+                # committed level may additionally lag by one doubling.
+                assert 0.25 <= ratio <= 32.0, (index, len(seen), estimate)
+
+    def test_fast_variant_estimate_is_o1_cached(self, large_universe):
+        estimator = FastRoughEstimator(large_universe, seed=11)
+        assert estimator.estimate() == -1.0
+        estimator.update(5)
+        # The cached estimate is returned without recomputation.
+        assert estimator.estimate() == estimator.estimate()

@@ -1,0 +1,82 @@
+"""Tests for the Section 3.3 small-F0 subroutine (Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashes import F0HashBundle
+from repro.core.small_f0 import EXACT_TRACKING_LIMIT, SmallF0Estimator
+from repro.exceptions import ParameterError
+
+
+def make_small(universe: int = 1 << 16, bins: int = 512, seed: int = 1) -> SmallF0Estimator:
+    bundle = F0HashBundle(universe, bins, eps_hint=0.05, seed=seed)
+    return SmallF0Estimator(bundle)
+
+
+class TestExactPhase:
+    def test_exact_below_limit(self):
+        small = make_small()
+        for item in range(80):
+            small.update(item)
+        assert small.estimate() == 80.0
+        assert not small.is_large()
+
+    def test_exact_counts_duplicates_once(self):
+        small = make_small()
+        for _ in range(5):
+            for item in range(40):
+                small.update(item)
+        assert small.estimate() == 40.0
+
+    def test_paper_exact_limit_is_100(self):
+        assert EXACT_TRACKING_LIMIT == 100
+
+    def test_update_validates_universe(self):
+        small = make_small(universe=1 << 10)
+        with pytest.raises(ParameterError):
+            small.update(1 << 10)
+
+    def test_invalid_exact_limit(self):
+        bundle = F0HashBundle(1 << 12, 64, eps_hint=0.1, seed=3)
+        with pytest.raises(ParameterError):
+            SmallF0Estimator(bundle, exact_limit=0)
+
+
+class TestBitvectorPhase:
+    def test_bitvector_estimate_after_overflow(self):
+        small = make_small(bins=1024, seed=2)
+        distinct = 400
+        for item in range(distinct):
+            small.update(item)
+        estimate = small.estimate()
+        assert abs(estimate - distinct) / distinct < 0.15
+
+    def test_is_large_triggers_at_threshold(self):
+        # K' = 2K bins; LARGE once the estimate reaches K'/32 = K/16.
+        small = make_small(bins=512, seed=4)
+        threshold = small.bins / 32.0
+        item = 0
+        while not small.is_large():
+            small.update(item)
+            item += 1
+            assert item < 5000, "is_large never triggered"
+        assert small.bitvector_estimate() >= threshold
+        # The handover point guarantees F0 is already comfortably large.
+        assert item >= threshold / 2
+
+    def test_estimate_monotone_under_inserts(self):
+        small = make_small(bins=256, seed=5)
+        previous = 0.0
+        for item in range(0, 600, 3):
+            small.update(item)
+            current = small.estimate()
+            assert current >= previous - 1e-9
+            previous = current
+
+    def test_space_is_exact_buffer_plus_bitvector(self):
+        small = make_small(universe=1 << 16, bins=512)
+        breakdown = small.space_breakdown().as_dict()
+        assert breakdown["bitvector"] == 2 * 512
+        assert breakdown["exact-buffer"] == EXACT_TRACKING_LIMIT * 16
+        assert small.space_bits() == sum(breakdown.values())

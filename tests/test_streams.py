@@ -1,0 +1,201 @@
+"""Tests for the stream model, generators, turnstile workloads, and datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError, StreamFormatError
+from repro.streams import (
+    MaterializedStream,
+    Update,
+    distinct_items_stream,
+    duplicated_union_streams,
+    exact_f0,
+    exact_l0,
+    fluctuating_stream,
+    frequency_vector,
+    growing_then_repeating_stream,
+    insert_delete_stream,
+    low_bits_adversarial_stream,
+    mixed_sign_stream,
+    packet_trace,
+    paired_columns,
+    query_log,
+    sequential_stream,
+    stream_from_items,
+    table_column,
+    uniform_random_stream,
+    zipf_stream,
+)
+
+
+class TestUpdateAndGroundTruth:
+    def test_update_validation(self):
+        with pytest.raises(ParameterError):
+            Update(-1, 1)
+        with pytest.raises(ParameterError):
+            Update(3, 0)
+
+    def test_exact_f0(self):
+        assert exact_f0([1, 2, 2, 3, 1]) == 3
+
+    def test_frequency_vector_cancellation(self):
+        updates = [Update(1, 2), Update(1, -2), Update(2, 5)]
+        assert frequency_vector(updates) == {2: 5}
+
+    def test_exact_l0(self):
+        updates = [Update(1, 1), Update(2, 1), Update(1, -1), Update(3, -4)]
+        assert exact_l0(updates) == 2
+
+
+class TestMaterializedStream:
+    def test_rejects_items_outside_universe(self):
+        with pytest.raises(StreamFormatError):
+            MaterializedStream([Update(10, 1)], universe_size=10)
+
+    def test_len_iter_getitem(self):
+        stream = stream_from_items([1, 2, 3], 10)
+        assert len(stream) == 3
+        assert stream[1].item == 2
+        assert [u.item for u in stream] == [1, 2, 3]
+
+    def test_is_insertion_only(self):
+        assert stream_from_items([1, 2], 10).is_insertion_only()
+        assert not MaterializedStream([Update(1, -1)], 10).is_insertion_only()
+
+    def test_ground_truth_at_checkpoints(self):
+        stream = stream_from_items([1, 1, 2, 3, 3, 4], 10)
+        assert stream.ground_truth_at([0, 2, 4, 6]) == [0, 1, 3, 4]
+
+    def test_ground_truth_at_validates(self):
+        stream = stream_from_items([1, 2], 10)
+        with pytest.raises(ParameterError):
+            stream.ground_truth_at([2, 1])
+        with pytest.raises(ParameterError):
+            stream.ground_truth_at([3])
+
+    def test_prefix_and_concat(self):
+        stream = stream_from_items([1, 2, 3, 4], 10)
+        prefix = stream.prefix(2)
+        assert prefix.ground_truth() == 2
+        combined = prefix.concat(stream.prefix(3))
+        assert combined.ground_truth() == 3
+        assert len(combined) == 5
+
+    def test_concat_requires_same_universe(self):
+        with pytest.raises(ParameterError):
+            stream_from_items([1], 10).concat(stream_from_items([1], 20))
+
+    def test_checkpoints(self):
+        stream = stream_from_items(list(range(100)), 200)
+        marks = stream.checkpoints(4)
+        assert marks == [25, 50, 75, 100]
+        assert stream.checkpoints(1) == [100]
+
+    def test_max_update_magnitude(self):
+        stream = MaterializedStream([Update(1, -7), Update(2, 3)], 10)
+        assert stream.max_update_magnitude() == 7
+
+
+class TestInsertionGenerators:
+    def test_distinct_items_stream_exact_count(self):
+        stream = distinct_items_stream(1 << 12, 500, repetitions=3, seed=1)
+        assert stream.ground_truth() == 500
+        assert len(stream) == 1500
+
+    def test_distinct_items_validation(self):
+        with pytest.raises(ParameterError):
+            distinct_items_stream(100, 200)
+
+    def test_uniform_random_stream(self):
+        stream = uniform_random_stream(1000, 5000, seed=2)
+        assert len(stream) == 5000
+        assert stream.ground_truth() <= 1000
+
+    def test_zipf_stream_skew_concentrates_mass(self):
+        stream = zipf_stream(1 << 14, 5000, skew=1.5, seed=3)
+        assert len(stream) == 5000
+        # Heavy skew means far fewer distinct items than stream length.
+        assert stream.ground_truth() < 2500
+
+    def test_sequential_stream(self):
+        stream = sequential_stream(100, 40)
+        assert [u.item for u in stream] == list(range(40))
+
+    def test_low_bits_adversarial_requires_power_of_two(self):
+        with pytest.raises(ParameterError):
+            low_bits_adversarial_stream(100, 10)
+        stream = low_bits_adversarial_stream(128, 64)
+        assert stream.ground_truth() == 64
+
+    def test_growing_then_repeating(self):
+        stream = growing_then_repeating_stream(1 << 12, 300, 700, seed=4)
+        assert len(stream) == 1000
+        assert stream.ground_truth() == 300
+
+    def test_duplicated_union_streams(self):
+        left, right = duplicated_union_streams(1 << 14, 400, overlap_fraction=0.5, seed=5)
+        assert left.ground_truth() == 400
+        assert right.ground_truth() == 400
+        union = left.concat(right)
+        assert union.ground_truth() == 600
+
+    def test_union_overlap_validation(self):
+        with pytest.raises(ParameterError):
+            duplicated_union_streams(100, 80, overlap_fraction=0.0)
+
+
+class TestTurnstileGenerators:
+    def test_insert_delete_stream_ground_truth(self):
+        stream = insert_delete_stream(1 << 12, 400, delete_fraction=0.25, copies=2, seed=6)
+        assert stream.ground_truth() == 300
+        assert not stream.is_insertion_only()
+
+    def test_insert_delete_all_deleted(self):
+        stream = insert_delete_stream(1 << 12, 100, delete_fraction=1.0, seed=7)
+        assert stream.ground_truth() == 0
+
+    def test_fluctuating_stream_bounds(self):
+        stream = fluctuating_stream(1 << 12, 2000, target_support=150, seed=8)
+        assert len(stream) == 2000
+        assert 0 <= stream.ground_truth() <= 1 << 12
+
+    def test_mixed_sign_stream(self):
+        stream = mixed_sign_stream(1 << 12, 50, 70, seed=9)
+        assert stream.ground_truth() == 120
+        frequencies = frequency_vector(stream.updates)
+        assert any(value < 0 for value in frequencies.values())
+        assert any(value > 0 for value in frequencies.values())
+
+    def test_paired_columns_difference(self):
+        column_a, column_b, difference = paired_columns(1 << 12, 300, 60, seed=10)
+        assert len(column_a) == 300
+        assert len(column_b) == 300
+        # The difference stream's L0 is at most twice the differing rows
+        # (each differing row contributes at most two changed values).
+        assert 0 < difference.ground_truth() <= 120
+
+
+class TestDatasets:
+    def test_packet_trace_structure(self):
+        stream, records = packet_trace(
+            1 << 16, packets=2000, distinct_flows=300, scanner_destinations=50, seed=11
+        )
+        assert len(stream) == 2050
+        assert len(records) == 2050
+        assert stream.ground_truth() >= 300
+
+    def test_query_log_exact_distinct(self):
+        stream = query_log(1 << 16, queries=3000, distinct_queries=800, seed=12)
+        assert stream.ground_truth() == 800
+        assert len(stream) == 3000
+
+    def test_table_column_exact_distinct(self):
+        stream = table_column(1 << 16, rows=2000, distinct_values=250, null_fraction=0.1, seed=13)
+        assert stream.ground_truth() == 250
+
+    def test_dataset_validation(self):
+        with pytest.raises(ParameterError):
+            query_log(100, queries=10, distinct_queries=20)
+        with pytest.raises(ParameterError):
+            table_column(100, rows=10, distinct_values=0)
