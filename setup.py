@@ -1,11 +1,68 @@
-"""Setuptools shim.
+"""Packaging metadata for the KNW distinct-elements reproduction.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists so the
-package can be installed in editable mode on environments without the
-``wheel`` package (offline machines where ``pip install -e .`` must fall
-back to the legacy ``setup.py develop`` path).
+All metadata lives here (there is no ``pyproject.toml`` in this repo, so
+this file is the single source of truth); ``src/repro/_version.py`` holds
+the version. The layout is a standard ``src/`` tree::
+
+    pip install -e .            # runtime (numpy only)
+    pip install -e ".[bench]"   # + the pytest/pytest-benchmark harness
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _read_version():
+    version_path = os.path.join(
+        os.path.dirname(__file__), "src", "repro", "_version.py"
+    )
+    namespace = {}
+    with open(version_path, "r", encoding="utf-8") as handle:
+        exec(handle.read(), namespace)
+    return namespace["__version__"]
+
+
+def _read_long_description():
+    readme_path = os.path.join(os.path.dirname(__file__), "README.md")
+    if not os.path.exists(readme_path):
+        return ""
+    with open(readme_path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="repro-knw-distinct-elements",
+    version=_read_version(),
+    description=(
+        "Reproduction of Kane-Nelson-Woodruff (PODS 2010) optimal distinct "
+        "elements estimation: F0/L0 sketches, Figure-1 baselines, a "
+        "NumPy-vectorized batch-ingestion pipeline, and an experiment harness"
+    ),
+    long_description=_read_long_description(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # 3.10 floor: the word-RAM code relies on int.bit_count() (3.10+).
+    python_requires=">=3.10",
+    install_requires=[
+        # The batch-ingestion pipeline (repro.vectorize and every
+        # update_batch override) vectorizes over numpy arrays; the scalar
+        # API degrades gracefully without it, but it is a declared
+        # dependency so batch ingestion works out of the box.
+        "numpy>=1.22",
+    ],
+    extras_require={
+        "bench": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -8,7 +8,7 @@ balls-and-bins analysis quantities), the prior algorithms the paper's
 Figure 1 compares against, and an experiment harness that regenerates the
 paper's comparisons.
 
-Quickstart::
+Quickstart (scalar streaming — the paper's one-item-per-update model)::
 
     from repro import KNWDistinctCounter
 
@@ -17,13 +17,35 @@ Quickstart::
         counter.update(packet.flow_id)
     print(counter.estimate())
 
+Quickstart (batch ingestion — the high-throughput pipeline).  Every
+estimator also exposes ``update_batch(items)``, taking any integer
+sequence (fastest with a NumPy integer array) and guaranteed to leave the
+sketch in a state bit-identical to the scalar loop's, for any partition of
+the stream into batches::
+
+    import numpy as np
+    from repro import KNWDistinctCounter
+
+    counter = KNWDistinctCounter(universe_size=1 << 32, eps=0.05, seed=7)
+    for chunk in np.array_split(identifiers, 64):
+        counter.update_batch(chunk)
+    print(counter.estimate())
+
 The main entry points are:
 
 * :class:`repro.core.knw.KNWDistinctCounter` — the paper's F0 estimator.
 * :class:`repro.core.fast_knw.FastKNWDistinctCounter` — the O(1)-time variant.
 * :class:`repro.l0.knw_l0.KNWHammingNormEstimator` — the L0 estimator.
 * :func:`repro.estimators.registry.make_f0_estimator` — any Figure-1 algorithm by name.
+* :class:`repro.estimators.base.CardinalityEstimator` — the estimator
+  interface, including the ``update_batch`` equivalence contract.
+* :mod:`repro.vectorize` — the NumPy substrate behind batch ingestion.
+* :mod:`repro.analysis.runner` — run any estimator over any stream, with
+  optional ``batch_size`` for batched driving.
 * :mod:`repro.apps` — query-optimiser, network-monitoring, and data-cleaning applications.
+
+See ``README.md`` for the module-to-theorem map and ``docs/architecture.md``
+for the class hierarchy and the batch-ingestion data flow.
 """
 
 from ._version import __version__

@@ -17,7 +17,16 @@ from ..streams.model import MaterializedStream
 from .metrics import ErrorSummary, summarize_errors, within_band_rate
 from .runner import run_f0_by_name, run_l0_by_name
 
-__all__ = ["SweepPoint", "accuracy_sweep", "l0_accuracy_sweep", "space_sweep"]
+__all__ = [
+    "DEFAULT_SWEEP_BATCH",
+    "SweepPoint",
+    "accuracy_sweep",
+    "l0_accuracy_sweep",
+    "space_sweep",
+]
+
+#: Chunk length used when sweeps drive sketches through ``update_batch``.
+DEFAULT_SWEEP_BATCH = 4096
 
 StreamFactory = Callable[[int], MaterializedStream]
 
@@ -69,6 +78,7 @@ def accuracy_sweep(
     eps_values: Sequence[float],
     seeds: Sequence[int],
     stream_seed: int = 12345,
+    batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
 ) -> List[SweepPoint]:
     """Run an F0 accuracy sweep.
 
@@ -80,6 +90,13 @@ def accuracy_sweep(
         eps_values: accuracy targets to sweep.
         seeds: estimator seeds (one independent trial per seed).
         stream_seed: the workload seed.
+        batch_size: chunk length for batched sketch driving (sweeps replay
+            the same stream many times, so the vectorized ``update_batch``
+            path is the default; pass ``None`` to force the scalar loop).
+            Results are identical by the batch-API contract, up to the
+            one documented deviation: the KNW Figure 3 FAIL test runs at
+            chunk granularity (see
+            :meth:`repro.core.knw.KNWFigure3Sketch.update_batch`).
 
     Returns:
         One :class:`SweepPoint` per (algorithm, eps) pair.
@@ -94,7 +111,9 @@ def accuracy_sweep(
             estimates: List[float] = []
             spaces: List[int] = []
             for seed in seeds:
-                result = run_f0_by_name(algorithm, stream, eps, seed=seed)
+                result = run_f0_by_name(
+                    algorithm, stream, eps, seed=seed, batch_size=batch_size
+                )
                 estimates.append(result.estimate)
                 spaces.append(result.space_bits)
             points.append(_aggregate(algorithm, eps, truth, estimates, spaces))

@@ -105,10 +105,10 @@ class SimilarColumnFinder:
             magnitude_bound=self.magnitude_bound,
             seed=self.seed,
         )
-        for value in self._columns[first]:
-            sketch.update(value, 1)
-        for value in self._columns[second]:
-            sketch.update(value, -1)
+        plus = self._columns[first]
+        minus = self._columns[second]
+        sketch.update_batch(plus, [1] * len(plus))
+        sketch.update_batch(minus, [-1] * len(minus))
         return sketch
 
     def pair_report(self, first: str, second: str) -> ColumnPairReport:

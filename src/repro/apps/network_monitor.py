@@ -16,12 +16,13 @@ threshold detectors can run on top of it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..baselines.linear_counting import LinearCounter
 from ..core.fast_knw import FastKNWDistinctCounter
 from ..exceptions import ParameterError
 from ..streams.datasets import FlowRecord
+from ..vectorize import HAS_NUMPY, np
 
 __all__ = ["FlowCardinalityMonitor", "WindowReport"]
 
@@ -123,6 +124,87 @@ class FlowCardinalityMonitor:
         if self._packets_in_window >= self.window_packets:
             return self._roll_window()
         return None
+
+    def observe_batch(self, records: Sequence[FlowRecord]) -> List[WindowReport]:
+        """Process a chunk of packet headers at once.
+
+        The batch counterpart of :meth:`observe`: equivalent to calling it
+        per record (windows still roll at exactly ``window_packets``
+        packets — the chunk is split at window boundaries), but the three
+        per-window distinct-count sketches ingest each window slice through
+        their vectorized ``update_batch``, and the per-source fan-out
+        bitmaps ingest one batch per (source, slice) group.
+
+        Args:
+            records: packet headers in arrival order.
+
+        Returns:
+            The reports of every window completed within this batch (empty
+            when no window boundary was crossed).
+        """
+        reports: List[WindowReport] = []
+        position = 0
+        total = len(records)
+        while position < total:
+            room = self.window_packets - self._packets_in_window
+            window_slice = records[position : position + room]
+            position += len(window_slice)
+            self._observe_slice(window_slice)
+            self._packets_in_window += len(window_slice)
+            if self._packets_in_window >= self.window_packets:
+                reports.append(self._roll_window())
+        return reports
+
+    def _observe_slice(self, records: Sequence[FlowRecord]) -> None:
+        """Ingest records known to fall inside the current window."""
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            for record in records:
+                flow_id = record.flow_id(self.universe_size)
+                self._flows.update(flow_id)
+                self._sources.update(record.source % self.universe_size)
+                self._destinations.update(record.destination % self.universe_size)
+            self._observe_fanout(records)
+            return
+        universe = self.universe_size
+        flow_ids = np.fromiter(
+            (record.flow_id(universe) for record in records),
+            dtype=np.uint64,
+            count=len(records),
+        )
+        sources = np.fromiter(
+            (record.source % universe for record in records),
+            dtype=np.uint64,
+            count=len(records),
+        )
+        destinations = np.fromiter(
+            (record.destination % universe for record in records),
+            dtype=np.uint64,
+            count=len(records),
+        )
+        self._flows.update_batch(flow_ids)
+        self._sources.update_batch(sources)
+        self._destinations.update_batch(destinations)
+        self._observe_fanout(records)
+
+    def _observe_fanout(self, records: Sequence[FlowRecord]) -> None:
+        """Feed the per-source fan-out bitmaps, grouped by source."""
+        by_source: Dict[int, List[int]] = {}
+        for record in records:
+            by_source.setdefault(record.source, []).append(
+                record.destination % self.universe_size
+            )
+        for source, destinations in by_source.items():
+            fanout = self._per_source_fanout.get(source)
+            if fanout is None:
+                fanout = LinearCounter(
+                    self.universe_size, bits=self._fanout_bits, seed=self._seed + 3
+                )
+                self._per_source_fanout[source] = fanout
+            if HAS_NUMPY:
+                fanout.update_batch(destinations)
+            else:  # pragma: no cover - numpy is a declared dependency
+                for destination in destinations:
+                    fanout.update(destination)
 
     def _roll_window(self) -> WindowReport:
         suspects = [

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence
 
 from ..core.knw import KNWDistinctCounter
 from ..exceptions import ParameterError
+from ..vectorize import HAS_NUMPY
 
 __all__ = ["ColumnStatisticsCollector", "JoinEstimate"]
 
@@ -103,15 +104,28 @@ class ColumnStatisticsCollector:
             self._row_counts[column] += 1
 
     def ingest_column(self, column: str, values: Sequence[Optional[int]]) -> None:
-        """Bulk-ingest one column's values."""
+        """Bulk-ingest one column's values.
+
+        The column form is the statistics-refresh hot path (a full column
+        scan per refresh), so non-null values are ingested through the
+        sketch's vectorized ``update_batch``; ``None`` values (SQL NULLs)
+        are skipped exactly as in :meth:`ingest_row`.
+        """
         if column not in self._sketches:
             raise ParameterError("unknown column %r" % column)
         sketch = self._sketches[column]
-        for value in values:
-            if value is None:
-                continue
-            sketch.update(value)
-            self._row_counts[column] += 1
+        non_null = [value for value in values if value is not None]
+        if not non_null:
+            return
+        if HAS_NUMPY:
+            # The plain list goes straight to update_batch: its validation
+            # turns negatives / non-integers into the same ParameterError
+            # the scalar path raises, instead of a dtype-conversion error.
+            sketch.update_batch(non_null)
+        else:  # pragma: no cover - numpy is a declared dependency
+            for value in non_null:
+                sketch.update(value)
+        self._row_counts[column] += len(non_null)
 
     def ndv(self, column: str) -> float:
         """Return the estimated number of distinct values of ``column``."""

@@ -23,8 +23,9 @@ from typing import Dict, Optional
 from ..bitstructs.space import SpaceBreakdown
 from ..estimators.base import CardinalityEstimator
 from ..exceptions import MergeError, ParameterError
-from ..hashing.bitops import lsb
+from ..hashing.bitops import lsb, lsb_batch
 from ..hashing.universal import PairwiseHash
+from ..vectorize import as_key_array, np
 
 __all__ = ["BJKSTSampler"]
 
@@ -90,6 +91,42 @@ class BJKSTSampler(CardinalityEstimator):
             self._sample = {
                 fp: lvl for fp, lvl in self._sample.items() if lvl >= self._level
             }
+
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion of a chunk of items.
+
+        The final (level, sample) state depends only on the multiset of
+        ``(fingerprint, level)`` pairs — an item dropped early by the
+        rising level could never have survived the final level either —
+        so the batch path may compute all levels and fingerprints in two
+        hash passes, group the per-fingerprint maximum level with
+        ``np.maximum.at``, fold the result into the sample, and prune
+        once.  The resulting level and sample dict equal the scalar
+        loop's exactly.
+        """
+        keys = as_key_array(items, self.universe_size)
+        if keys.size == 0:
+            return
+        levels = lsb_batch(
+            self._level_hash.hash_batch_validated(keys), zero_value=self._level_limit
+        )
+        surviving = levels >= np.int64(self._level)
+        if not bool(surviving.any()):
+            return
+        keys = keys[surviving]
+        levels = levels[surviving]
+        fingerprints = self._fingerprint_hash.hash_batch_validated(keys)
+        unique_fps, inverse = np.unique(fingerprints, return_inverse=True)
+        level_max = np.full(len(unique_fps), -1, dtype=np.int64)
+        np.maximum.at(level_max, inverse, levels)
+        sample = self._sample
+        for fingerprint, level in zip(unique_fps.tolist(), level_max.tolist()):
+            if level > sample.get(fingerprint, -1):
+                sample[fingerprint] = level
+        while len(sample) > self.budget:
+            self._level += 1
+            sample = {fp: lvl for fp, lvl in sample.items() if lvl >= self._level}
+        self._sample = sample
 
     def estimate(self) -> float:
         """Return ``|sample| * 2^level``."""

@@ -22,6 +22,7 @@ from ..bitstructs.space import SpaceBreakdown
 from ..estimators.base import CardinalityEstimator
 from ..exceptions import MergeError, ParameterError
 from ..hashing.universal import PairwiseHash
+from ..vectorize import as_key_array, np
 
 __all__ = ["KMinimumValues", "kmv_size_for_eps"]
 
@@ -99,6 +100,55 @@ class KMinimumValues(CardinalityEstimator):
         self._members.discard(evicted)
         self._members.add(value)
         self._insert(value)
+
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion of a chunk of items.
+
+        The sketch state is exactly "the ``k`` smallest distinct hash
+        values seen so far", which is invariant to the order items arrive
+        in, so the batch path may reduce the whole chunk at once: hash all
+        items in one pass, deduplicate with ``np.unique``, discard values
+        that cannot enter a saturated sketch (the retention threshold only
+        *decreases* during a batch, so filtering against the pre-batch
+        threshold is exact), and merge the few survivors into the sorted
+        bottom-k.  Final ``_values``/``_members`` are bit-identical to the
+        scalar loop's.
+        """
+        keys = as_key_array(items, self.universe_size)
+        if keys.size == 0:
+            return
+        hashed = self._hash.hash_batch_validated(keys)
+        if len(self._values) >= self.k:
+            # values >= the current k-th smallest can never be admitted, at
+            # batch start or later (the threshold is non-increasing), so the
+            # cheap mask runs before any deduplication.  On a saturated
+            # sketch it leaves roughly k survivors per batch.
+            hashed = hashed[hashed < self._values[-1]]
+        if hashed.size == 0:
+            return
+        if hashed.size <= 4 * self.k:
+            # Few survivors: a Python set dedupes + filters in one go.
+            fresh = sorted(set(hashed.tolist()) - self._members)
+        else:
+            hashed = np.unique(hashed)
+            fresh = [value for value in hashed.tolist() if value not in self._members]
+        if not fresh:
+            return
+        # `fresh` and `_values` are both sorted and disjoint: merge them and
+        # keep the k smallest, exactly the loop's final state.
+        merged: List[int] = []
+        take = self.k
+        mine, theirs = self._values, fresh
+        i = j = 0
+        while len(merged) < take and (i < len(mine) or j < len(theirs)):
+            if j >= len(theirs) or (i < len(mine) and mine[i] < theirs[j]):
+                merged.append(mine[i])
+                i += 1
+            else:
+                merged.append(theirs[j])
+                j += 1
+        self._values = merged
+        self._members = set(merged)
 
     def _insert(self, value: int) -> None:
         lo, hi = 0, len(self._values)

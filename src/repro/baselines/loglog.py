@@ -21,8 +21,9 @@ from ..bitstructs.packed import PackedCounterArray
 from ..bitstructs.space import SpaceBreakdown
 from ..estimators.base import CardinalityEstimator
 from ..exceptions import MergeError, ParameterError
-from ..hashing.bitops import is_power_of_two, lsb
+from ..hashing.bitops import is_power_of_two, lsb, rho_batch
 from ..hashing.random_oracle import RandomOracle
+from ..vectorize import as_key_array, np
 
 __all__ = ["LogLogCounter", "registers_for_eps"]
 
@@ -94,6 +95,22 @@ class LogLogCounter(CardinalityEstimator):
         remainder = value >> self._register_bits
         rho = lsb(remainder, zero_value=self._value_bits - 1) + 1
         self._registers.maximize(register, min(rho, (1 << self._registers.width) - 1))
+
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion of a chunk of items (see HyperLogLog's note).
+
+        The register state is a per-register maximum of ``rho`` values, so
+        reducing the whole chunk at once is bit-identical to the loop.
+        """
+        keys = as_key_array(items, self.universe_size)
+        if keys.size == 0:
+            return
+        values = self._oracle.hash_batch_validated(keys)
+        registers = values & np.uint64(self.registers - 1)
+        remainders = values >> np.uint64(self._register_bits)
+        rho = rho_batch(remainders, zero_value=self._value_bits - 1)
+        rho = np.minimum(rho, np.int64((1 << self._registers.width) - 1))
+        self._registers.maximize_many(registers, rho)
 
     def estimate(self) -> float:
         """Return ``alpha * m * 2^{mean register}``."""

@@ -60,6 +60,22 @@ class BitVector:
             self._bytes[byte_index] &= ~mask & 0xFF
             self._ones -= 1
 
+    def set_many(self, indices) -> None:
+        """Set every bit named in ``indices`` (bulk form of :meth:`set`).
+
+        The batch-ingestion paths (linear counting, Flajolet--Martin
+        bitmaps, the small-F0 bitvector) reduce a whole chunk of items to
+        bit positions at once; deduplicating first keeps the Python-level
+        work proportional to the number of *distinct* touched bits, which
+        is bounded by the (small) vector length rather than the batch size.
+
+        Args:
+            indices: iterable of bit positions (a NumPy array or any
+                integer sequence); validated per position like :meth:`set`.
+        """
+        for index in sorted(set(int(index) for index in indices)):
+            self.set(index, 1)
+
     def clear(self) -> None:
         """Reset every bit to zero."""
         for i in range(len(self._bytes)):

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from ..exceptions import ParameterError
+from ..vectorize import np, require_numpy
 
 __all__ = ["PackedCounterArray"]
 
@@ -84,6 +85,38 @@ class PackedCounterArray:
             self.set(index, value)
             return value
         return current
+
+    def maximize_many(self, indices, values) -> None:
+        """Apply ``counter[i] = max(counter[i], v)`` for a whole batch at once.
+
+        This is the bulk form of :meth:`maximize` used by the vectorized
+        ``update_batch`` paths (HyperLogLog/LogLog registers, RoughEstimator
+        counters): the per-index maxima are reduced with
+        ``np.maximum.at`` and only the counters that actually changed are
+        rewritten into the packed buffer.  The final state is identical to
+        calling :meth:`maximize` per pair in any order (maximum is
+        commutative and associative).
+
+        The Python-level work is proportional to the number of *distinct
+        indices touched by the batch* (bounded by both the batch size and
+        the array length), not to the array length.
+
+        Args:
+            indices: integer ndarray of counter indices (already validated
+                by the caller's hashing, as in the scalar paths).
+            values: integer ndarray of candidate values; must fit in
+                ``width`` bits.
+        """
+        require_numpy("PackedCounterArray.maximize_many")
+        if len(indices) == 0:
+            return
+        touched, inverse = np.unique(
+            np.asarray(indices, dtype=np.int64), return_inverse=True
+        )
+        maxima = np.zeros(len(touched), dtype=np.int64)
+        np.maximum.at(maxima, inverse, np.asarray(values, dtype=np.int64))
+        for index, value in zip(touched.tolist(), maxima.tolist()):
+            self.maximize(index, value)
 
     def fill(self, value: int) -> None:
         """Set every counter to ``value``."""

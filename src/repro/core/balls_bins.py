@@ -49,7 +49,9 @@ def expected_occupied_bins(balls: int, bins: int) -> float:
         raise ParameterError("balls must be non-negative")
     if bins < 1:
         raise ParameterError("bins must be positive")
-    return bins * (1.0 - (1.0 - 1.0 / bins) ** balls)
+    # Clamp to the mathematical range [0, min(A, K)]: the float expression
+    # can exceed it by an ulp (e.g. A=1, K=9 gives 1 + 4e-16).
+    return min(bins * (1.0 - (1.0 - 1.0 / bins) ** balls), float(min(balls, bins)))
 
 
 def occupancy_variance_bound(balls: int, bins: int) -> float:

@@ -26,12 +26,20 @@ from ..bitstructs.space import SpaceBreakdown
 from ..estimators.base import CardinalityEstimator
 from ..exceptions import MergeError, ParameterError, SketchFailure
 from ..hashing.bitops import ceil_log2, is_power_of_two
+from ..vectorize import as_key_array, np
 from .balls_bins import invert_occupancy
 from .hashes import F0HashBundle
 from .rough_estimator import RoughEstimator
 from .small_f0 import SmallF0Estimator
 
-__all__ = ["KNWFigure3Sketch", "KNWDistinctCounter", "bins_for_eps"]
+__all__ = ["KNWFigure3Sketch", "KNWDistinctCounter", "bins_for_eps", "BATCH_CHUNK"]
+
+#: Internal chunk length of the vectorized Figure 3 ingestion path.  The
+#: batch loop consults the RoughEstimator (and rebases) once per chunk
+#: instead of once per item; a bounded chunk keeps the rebasing cadence —
+#: and therefore the transient counter-offset magnitudes — close to the
+#: scalar schedule while amortising the vectorization overhead.
+BATCH_CHUNK = 8192
 
 
 def bins_for_eps(eps: float, minimum: int = 32) -> int:
@@ -183,6 +191,68 @@ class KNWFigure3Sketch(CardinalityEstimator):
         rough_estimate = self.rough.estimate()
         if rough_estimate > float(1 << self._est_exponent):
             self._rebase(rough_estimate)
+
+    def update_batch(self, items, extended_bins=None) -> None:
+        """Vectorized ingestion of a chunk of items (Step 6, batched).
+
+        The counter state commutes with rebasing — ``max`` with the
+        shift-and-clamp of Steps (a)-(c) satisfies
+        ``max(-1, max(a, b) + s) = max(max(-1, a + s), max(-1, b + s))`` —
+        so the final counters, base level and occupancy are identical to
+        the scalar loop's no matter how updates and rebases interleave.
+        The batch path exploits this: it reduces up to :data:`BATCH_CHUNK`
+        items into the counters at the current base with one grouped
+        maximum, then feeds the same chunk to the RoughEstimator and
+        rebases if its (monotone) estimate crossed a power of two.
+
+        The one semantic difference from the loop is FAIL granularity: the
+        ``A > 3K`` test runs once per chunk, *after* rebasing, instead of
+        after every item.  A batch whose counters only transiently exceed
+        the budget at a stale base — because the rebase that scalar
+        processing would have performed items earlier is still pending —
+        therefore does not latch FAIL spuriously; a sketch whose
+        steady-state budget genuinely overflows still does.
+
+        Args:
+            items: the chunk of identifiers.
+            extended_bins: optional precomputed
+                :meth:`repro.core.hashes.F0HashBundle.extended_bin_batch`
+                values for ``items`` (the combined estimator shares them
+                with the small-F0 subroutine, as the paper prescribes).
+        """
+        keys = as_key_array(items, self.universe_size)
+        for start in range(0, len(keys), BATCH_CHUNK):
+            chunk = keys[start : start + BATCH_CHUNK]
+            shared = None
+            if extended_bins is not None:
+                shared = extended_bins[start : start + BATCH_CHUNK]
+            self._ingest_chunk(chunk, shared)
+
+    def _ingest_chunk(self, keys, extended_bins) -> None:
+        """Reduce one bounded chunk into the counters, then rebase once."""
+        if len(keys) == 0:
+            return
+        indices = self.hashes.main_bin_batch(keys, extended_bins=extended_bins)
+        levels = self.hashes.level_batch(keys)
+        relative = levels - np.int64(self._base_level)
+        before = np.array(self._counters, dtype=np.int64)
+        after = before.copy()
+        np.maximum.at(after, indices, relative)
+        changed = np.nonzero(after != before)[0]
+        for index in changed.tolist():
+            old = int(before[index])
+            new = int(after[index])
+            self._bit_budget += _counter_bits(new) - _counter_bits(old)
+            if old < 0 <= new:
+                self._occupied += 1
+            self._counters[index] = new
+
+        self.rough.update_batch(keys)
+        rough_estimate = self.rough.estimate()
+        if rough_estimate > float(1 << self._est_exponent):
+            self._rebase(rough_estimate)
+        if self._bit_budget > self.FAIL_FACTOR * self.bins:
+            self._failed = True
 
     def _rebase(self, rough_estimate: float) -> None:
         """Steps (a)-(c) of Figure 3: shift the counter offsets to the new base."""
@@ -415,6 +485,23 @@ class KNWDistinctCounter(CardinalityEstimator):
         """Process one stream item (feeds both regimes, as the paper does)."""
         self.small.update(item)
         self.core.update(item)
+
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion of a chunk of items.
+
+        Computes the shared ``h3(h2(.))`` evaluation once per chunk and
+        hands it to both regimes — the batch form of the hash-bundle
+        sharing the paper prescribes (and of the scalar one-entry memo).
+        State after any batch partition is identical to the scalar loop's
+        (see :meth:`KNWFigure3Sketch.update_batch` for the one FAIL-timing
+        caveat).
+        """
+        keys = as_key_array(items, self.universe_size)
+        if keys.size == 0:
+            return
+        extended = self.hashes.extended_bin_batch(keys)
+        self.small.update_batch(keys, extended_bins=extended)
+        self.core.update_batch(keys, extended_bins=extended)
 
     def estimate(self) -> float:
         """Return the current ``(1 +/- eps)`` estimate of F0.

@@ -33,10 +33,11 @@ from typing import List, Optional
 from ..bitstructs.packed import PackedCounterArray
 from ..bitstructs.space import SpaceBreakdown
 from ..exceptions import ParameterError
-from ..hashing.bitops import lsb
+from ..hashing.bitops import lsb, lsb_batch
 from ..hashing.kwise import KWiseHash
 from ..hashing.uniform import LazyUniformHash
 from ..hashing.universal import PairwiseHash
+from ..vectorize import as_key_array, np
 
 __all__ = ["RoughEstimator", "FastRoughEstimator", "OCCUPANCY_THRESHOLD_RHO", "rough_counter_count"]
 
@@ -93,6 +94,19 @@ class _RoughCopy:
         stored = self.counters.get(index)
         if level + 1 > stored:
             self.counters.set(index, level + 1)
+
+    def update_batch(self, keys) -> None:
+        """Vectorized copy update: two hash passes plus one grouped max.
+
+        Counters hold the deepest level hashed to them — a pure per-counter
+        maximum — so one ``maximize_many`` over the whole chunk is
+        bit-identical to the scalar loop.  The keys must already be a
+        validated ``uint64`` array (the owning estimator converts once for
+        all three copies).
+        """
+        levels = lsb_batch(self.h1.hash_batch_validated(keys), zero_value=self.level_limit)
+        indices = self.h3.hash_batch_validated(self.h2.hash_batch_validated(keys))
+        self.counters.maximize_many(indices, levels + np.int64(1))
 
     def counts_at_least(self, level: int) -> int:
         """Return ``T_r = |{i : C_i >= level}|`` (stored values are C + 1)."""
@@ -177,6 +191,35 @@ class RoughEstimator:
             )
         for copy in self._copies:
             copy.update(item)
+
+    def update_batch(self, items) -> None:
+        """Process a chunk of items through all three copies, vectorized.
+
+        Equivalent to the :meth:`update` loop.  With the polynomial ``h3``
+        (stateless) each copy reduces the whole chunk independently.  With
+        the Lemma 5 uniform family the three copies' ``h3`` draw lazily
+        from one *shared* RNG, so the batch path evaluates ``h3`` in the
+        scalar interleaving — item by item across the copies — to consume
+        the RNG in the identical order, while ``h1``/``h2`` hashing, level
+        extraction and the counter maxima stay vectorized.
+        """
+        keys = as_key_array(items, self.universe_size)
+        if keys.size == 0:
+            return
+        if not isinstance(self._copies[0].h3, LazyUniformHash):
+            for copy in self._copies:
+                copy.update_batch(keys)
+            return
+        spread = [copy.h2.hash_batch_validated(keys).tolist() for copy in self._copies]
+        draws = [copy.h3.draw_value for copy in self._copies]
+        indices = [np.empty(len(keys), dtype=np.int64) for _ in self._copies]
+        copy_order = range(len(self._copies))
+        for position in range(len(keys)):
+            for j in copy_order:
+                indices[j][position] = draws[j](spread[j][position])
+        for j, copy in enumerate(self._copies):
+            levels = lsb_batch(copy.h1.hash_batch_validated(keys), zero_value=copy.level_limit)
+            copy.counters.maximize_many(indices[j], levels + np.int64(1))
 
     def estimate(self) -> float:
         """Return the current rough estimate (median of the three copies).
@@ -283,6 +326,20 @@ class FastRoughEstimator(RoughEstimator):
             self._cached_estimate = float(
                 (1 << next_level) * self.counters_per_copy
             )
+
+    def update_batch(self, items) -> None:
+        """Process a chunk item by item.
+
+        The Lemma 5 deamortisation advances the committed level *at most
+        once per update*, so the committed level after a chunk depends on
+        the per-item interleaving of counter updates and commit checks;
+        a vectorized reduction could legally advance further than the
+        scalar path.  To keep batch ingestion bit-identical, this variant
+        deliberately keeps the per-item loop.
+        """
+        keys = as_key_array(items, self.universe_size)
+        for key in keys.tolist():
+            self.update(key)
 
     def estimate(self) -> float:
         """Return the committed estimate (O(1): no scan at query time)."""

@@ -13,17 +13,33 @@ Both expose ``estimate()`` which may be called at any time mid-stream
 space accounting used by the Figure-1 benchmark.  Insertion-only sketches
 additionally support ``merge`` when two sketches share parameters and
 seeds, which the union-of-streams application relies on.
+
+Ingestion comes in two granularities:
+
+* ``update(item)`` — the paper's per-item streaming operation;
+* ``update_batch(items)`` — bulk ingestion of a chunk of items.  The
+  contract is *exact equivalence*: feeding a stream through any sequence
+  of batches must leave the sketch in the same state (and produce the
+  same estimates) as the per-item loop, so batching is purely a
+  throughput optimisation.  The base implementation is the loop; the hot
+  estimators override it with NumPy-vectorized paths (see
+  :mod:`repro.vectorize`).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence, Union
 
 from ..exceptions import MergeError, UpdateError
 from ..streams.model import MaterializedStream, Update
 
 __all__ = ["CardinalityEstimator", "TurnstileEstimator", "describe_estimator"]
+
+#: The types accepted by ``update_batch``: any integer sequence, including
+#: a NumPy integer ndarray (the zero-copy fast path for vectorized
+#: overrides).
+ItemBatch = Union[Sequence[int], "object"]
 
 
 class CardinalityEstimator(abc.ABC):
@@ -58,19 +74,86 @@ class CardinalityEstimator(abc.ABC):
         """
         raise MergeError("%s does not support merging" % type(self).__name__)
 
+    # -- batch ingestion ------------------------------------------------------------
+
+    def update_batch(self, items: ItemBatch) -> None:
+        """Process a chunk of stream items, equivalently to an ``update`` loop.
+
+        Semantics (binding for every override):
+
+        * **Equivalence** — after ``update_batch(items)`` the sketch state
+          and all subsequent ``estimate()`` results are identical to
+          ``for x in items: update(x)``.  Splitting a stream into batches
+          of any sizes never changes the outcome; batching is purely a
+          throughput optimisation.
+        * **Order sensitivity** — items are logically applied in order.
+          Most sketches are order-insensitive (their per-counter reduction
+          is a max/OR/bottom-k), but order-dependent tie-breaking (e.g.
+          lazily materialised hash families drawing values at first
+          occurrence) follows first-occurrence order within the batch.
+        * **Dtype** — ``items`` may be any integer sequence; vectorized
+          overrides accept (and are fastest with) a NumPy integer array,
+          converted once to ``uint64``.  Identifiers must lie in
+          ``[0, universe_size)``.  *Vectorized overrides* validate the
+          whole batch before any state is mutated, so a rejected batch
+          leaves the sketch untouched; this base (loop) implementation,
+          like the scalar loop itself, applies the prefix preceding the
+          offending item.
+        * **Known deviation** — the KNW Figure 3 sketch evaluates its
+          space-budget FAIL test once per ingested chunk (after
+          rebasing) rather than after every item; a stream whose budget
+          only *transiently* exceeds the threshold at a stale base can
+          latch FAIL under the scalar loop but not under batching.  See
+          :meth:`repro.core.knw.KNWFigure3Sketch.update_batch`.  All
+          other state is bit-identical.
+        * **Merging** — batch ingestion composes with :meth:`merge`
+          exactly like scalar ingestion: same-seed sketches fed disjoint
+          batches and then merged agree with one sketch fed the
+          concatenation, whenever the estimator supports merging at all.
+
+        The base implementation is the plain loop (correct for every
+        subclass); hot estimators override it with vectorized paths.
+        """
+        for item in items:
+            self.update(int(item))
+
     # -- convenience ----------------------------------------------------------------
 
     def update_many(self, items: Iterable[int]) -> None:
-        """Feed every identifier from an iterable to :meth:`update`."""
+        """Feed every identifier from an iterable to :meth:`update`.
+
+        Unlike :meth:`update_batch` this accepts lazy iterables and never
+        materialises them; use it for unbounded sources, and
+        :meth:`update_batch` for chunked high-throughput ingestion.
+        """
         for item in items:
             self.update(item)
 
-    def process_stream(self, stream: MaterializedStream) -> float:
+    def process_stream(
+        self,
+        stream: MaterializedStream,
+        batch_size: Optional[int] = None,
+    ) -> float:
         """Feed an entire insertion-only stream and return the final estimate.
+
+        Args:
+            stream: the insertion-only stream to ingest.
+            batch_size: when given, ingest via :meth:`update_batch` in
+                chunks of this many items (the vectorized fast path);
+                when ``None``, use the per-item loop.
 
         Raises:
             UpdateError: if the stream contains deletions.
         """
+        if batch_size is not None:
+            if not stream.is_insertion_only():
+                raise UpdateError(
+                    "insertion-only estimator %s received a turnstile stream"
+                    % self.name
+                )
+            for chunk in stream.iter_item_batches(batch_size):
+                self.update_batch(chunk)
+            return self.estimate()
         for update in stream:
             if update.delta != 1:
                 raise UpdateError(
@@ -102,6 +185,25 @@ class TurnstileEstimator(abc.ABC):
     @abc.abstractmethod
     def space_bits(self) -> int:
         """Return the sketch size in bits under word-RAM accounting."""
+
+    # -- batch ingestion ------------------------------------------------------------
+
+    def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
+        """Apply a chunk of signed updates ``x_items[i] += deltas[i]``.
+
+        Same contract as
+        :meth:`CardinalityEstimator.update_batch` — exact equivalence with
+        the per-update loop, order-sensitive application, integer
+        sequences or NumPy arrays for both ``items`` and ``deltas``.  The
+        L0 sketches are dominated by per-row fingerprint arithmetic that
+        does not currently vectorize, so the base loop is also the only
+        implementation; the method exists so turnstile callers can be
+        written against the batch API uniformly.
+        """
+        if len(items) != len(deltas):
+            raise UpdateError("update_batch requires as many deltas as items")
+        for item, delta in zip(items, deltas):
+            self.update(int(item), int(delta))
 
     # -- convenience ----------------------------------------------------------------
 

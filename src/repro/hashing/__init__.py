@@ -17,6 +17,11 @@ This subpackage contains every hash family the paper relies on:
   the oracle-model baselines of Figure 1.
 * :mod:`repro.hashing.primes` — primality testing and random prime
   selection (L0 fingerprints of Lemma 6 and Lemma 8).
+
+Every family also exposes ``hash_batch(keys)``, the vectorized evaluation
+used by the batch-ingestion pipeline; it is exactly equivalent to calling
+the function per key (the batched field arithmetic in
+:mod:`repro.vectorize` is exact).
 """
 
 from .bitops import (
@@ -26,10 +31,12 @@ from .bitops import (
     is_power_of_two,
     lsb,
     lsb64,
+    lsb_batch,
     msb,
     msb64,
     popcount,
     reverse_bits,
+    rho_batch,
 )
 from .kwise import KWiseHash, required_independence
 from .primes import (
@@ -55,10 +62,12 @@ __all__ = [
     "is_power_of_two",
     "lsb",
     "lsb64",
+    "lsb_batch",
     "msb",
     "msb64",
     "popcount",
     "reverse_bits",
+    "rho_batch",
     "KWiseHash",
     "required_independence",
     "MERSENNE_31",

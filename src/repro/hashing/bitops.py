@@ -23,6 +23,7 @@ Conventions (matching Section 1.2 of the paper):
 from __future__ import annotations
 
 from ..exceptions import ParameterError
+from ..vectorize import lsb64_batch, np, require_numpy
 
 __all__ = [
     "WORD_SIZE",
@@ -30,6 +31,8 @@ __all__ = [
     "msb",
     "lsb64",
     "msb64",
+    "lsb_batch",
+    "rho_batch",
     "ceil_log2",
     "floor_log2",
     "is_power_of_two",
@@ -151,6 +154,43 @@ def msb(x: int) -> int:
     if x <= _WORD_MASK:
         return msb64(x)
     return x.bit_length() - 1
+
+
+def lsb_batch(values, zero_value: int):
+    """Vectorized :func:`lsb` over a ``uint64`` NumPy array.
+
+    This is the batch-ingestion counterpart of the per-item ``lsb``: one
+    de Bruijn multiplication and one table gather for the whole array,
+    instead of one Python call per item.  Inputs must fit in 64-bit words
+    (every hash range the estimators subsample on does).
+
+    Args:
+        values: ``uint64`` ndarray of hash values (an object-dtype array
+            of Python ints — hashes over universes beyond ``2^61`` — is
+            handled exactly via the scalar ``lsb``).
+        zero_value: value assigned to zero entries (the paper's
+            ``lsb(0) = log n`` sentinel; estimators pass ``log2(n)``).
+
+    Returns:
+        An ``int64`` ndarray of bit indices.
+    """
+    require_numpy("lsb_batch")
+    if values.dtype == object:
+        return np.array(
+            [lsb(int(value), zero_value=zero_value) for value in values.tolist()],
+            dtype=np.int64,
+        )
+    return lsb64_batch(values, zero_value)
+
+
+def rho_batch(values, zero_value: int):
+    """Vectorized ``rho`` (1 + lsb) used by the register-based baselines.
+
+    LogLog/HyperLogLog record ``rho = lsb + 1`` per item; providing the
+    fused form keeps their ``update_batch`` overrides one-liners.
+    """
+    require_numpy("rho_batch")
+    return lsb_batch(values, zero_value) + np.int64(1)
 
 
 def floor_log2(x: int) -> int:

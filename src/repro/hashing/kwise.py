@@ -22,6 +22,7 @@ import random
 from typing import List, Optional, Sequence
 
 from ..exceptions import ParameterError
+from ..vectorize import as_key_array, mod_range, mulmod_arrays, np
 from .primes import field_prime_for_universe
 
 __all__ = ["KWiseHash", "required_independence"]
@@ -128,6 +129,42 @@ class KWiseHash:
         for coefficient in reversed(self._coefficients):
             acc = (acc * key + coefficient) % p
         return acc % self.range_size
+
+    def hash_batch(self, keys):
+        """Evaluate the polynomial on a whole array of keys via Horner's rule.
+
+        ``k`` exact batched modular multiply-adds
+        (:func:`repro.vectorize.mulmod_arrays`) replace ``k`` Python field
+        operations *per item*; the result is bit-identical to the scalar
+        :meth:`__call__`.
+
+        Args:
+            keys: integer sequence or ndarray with values in
+                ``[0, universe_size)``.
+
+        Returns:
+            ndarray of hash values in ``[0, range_size)``.
+        """
+        keys = as_key_array(keys, self.universe_size)
+        return self.hash_batch_validated(keys)
+
+    def hash_batch_validated(self, keys):
+        """:meth:`hash_batch` for a key array the caller already validated."""
+        p = self._prime
+        use_words = p < (1 << 63) and keys.dtype != object
+        if use_words:
+            acc = np.full(keys.shape, self._coefficients[-1], dtype=np.uint64)
+        else:
+            keys = keys.astype(object)
+            acc = np.full(keys.shape, self._coefficients[-1], dtype=object)
+        for coefficient in reversed(self._coefficients[:-1]):
+            acc = mulmod_arrays(acc, keys, p, self.universe_size)
+            if acc.dtype == object:
+                acc = (acc + coefficient) % p
+            else:
+                acc = acc + np.uint64(coefficient)
+                np.subtract(acc, np.uint64(p), out=acc, where=acc >= np.uint64(p))
+        return mod_range(acc, self.range_size)
 
     def space_bits(self) -> int:
         """Return the number of bits needed to store this function.

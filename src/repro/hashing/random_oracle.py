@@ -24,6 +24,7 @@ import random
 from typing import Optional
 
 from ..exceptions import ParameterError
+from ..vectorize import as_key_array, np
 
 __all__ = ["RandomOracle"]
 
@@ -82,6 +83,47 @@ class RandomOracle:
         if self.range_size.bit_count() == 1:
             return mixed & (self.range_size - 1)
         return mixed % self.range_size
+
+    def hash_batch(self, keys):
+        """Evaluate the oracle on a whole array of keys at once.
+
+        The splitmix64 finaliser is three multiply/xor-shift rounds, all of
+        which vectorize exactly over ``uint64`` (NumPy's unsigned overflow
+        *is* the wraparound the mixer is defined on), so batch evaluation
+        is bit-identical to :meth:`__call__` per key.
+
+        Args:
+            keys: integer sequence or ndarray with values in
+                ``[0, universe_size)``.
+
+        Returns:
+            A ``uint64`` ndarray of oracle values in ``[0, range_size)``.
+        """
+        keys = as_key_array(keys, self.universe_size)
+        return self.hash_batch_validated(keys)
+
+    def hash_batch_validated(self, keys):
+        """:meth:`hash_batch` for a key array the caller already validated."""
+        if keys.dtype == object:
+            # Universes beyond 2^64: the scalar path masks keys to the
+            # 64-bit word before mixing; do the same, exactly.
+            keys = np.fromiter(
+                (key & _MASK64 for key in keys.tolist()),
+                dtype=np.uint64,
+                count=len(keys),
+            )
+        value = np.uint64(_splitmix64(self.seed & _MASK64)) ^ keys
+        value = value + np.uint64(0x9E3779B97F4A7C15)
+        value = (value ^ (value >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        value = (value ^ (value >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        mixed = value ^ (value >> np.uint64(31))
+        if self.range_size.bit_count() == 1:
+            if self.range_size >= (1 << 64):
+                return mixed  # a 64-bit mix is already inside the range
+            return mixed & np.uint64(self.range_size - 1)
+        if self.range_size >= (1 << 64):
+            return mixed
+        return mixed % np.uint64(self.range_size)
 
     def space_bits(self) -> int:
         """Return the space charged for the oracle.

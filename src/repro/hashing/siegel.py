@@ -26,6 +26,7 @@ import random
 from typing import Dict, Optional
 
 from ..exceptions import ParameterError
+from ..vectorize import as_key_array, np
 
 __all__ = ["SiegelHash"]
 
@@ -114,6 +115,29 @@ class SiegelHash:
             value = self._rng.randrange(0, self.range_size)
             self._memo[key] = value
         return value
+
+    def hash_batch(self, keys):
+        """Evaluate the function on a whole array of keys.
+
+        Like :meth:`repro.hashing.uniform.LazyUniformHash.hash_batch`, the
+        lazily materialised values must be drawn in first-occurrence order
+        so batch and scalar ingestion agree bit-for-bit; the walk is
+        Python-level but free of per-item validation and call overhead.
+        """
+        keys = as_key_array(keys, self.universe_size)
+        if self._failed:
+            return np.zeros(keys.shape, dtype=np.int64)
+        memo = self._memo
+        randrange = self._rng.randrange
+        range_size = self.range_size
+        out = np.empty(keys.shape, dtype=np.int64)
+        for position, key in enumerate(keys.tolist()):
+            value = memo.get(key)
+            if value is None:
+                value = randrange(0, range_size)
+                memo[key] = value
+            out[position] = value
+        return out
 
     def space_bits(self) -> int:
         """Return the paper-model space cost ``range_size ** eta`` in bits."""

@@ -34,6 +34,7 @@ import random
 from typing import Dict, Optional
 
 from ..exceptions import ParameterError
+from ..vectorize import as_key_array, np
 
 __all__ = ["LazyUniformHash"]
 
@@ -111,6 +112,16 @@ class LazyUniformHash:
             raise ParameterError(
                 "key %d outside universe [0, %d)" % (key, self.universe_size)
             )
+        return self.draw_value(key)
+
+    def draw_value(self, key: int) -> int:
+        """Return the memoised value for a pre-validated key.
+
+        Drawing happens at first occurrence, consuming one value from the
+        (possibly shared) RNG — batch callers that must reproduce the
+        scalar draw *order* across several functions sharing one RNG (the
+        RoughEstimator's three copies) call this directly in stream order.
+        """
         if self._failed:
             return 0
         value = self._memo.get(key)
@@ -118,6 +129,33 @@ class LazyUniformHash:
             value = self._rng.randrange(0, self.range_size)
             self._memo[key] = value
         return value
+
+    def hash_batch(self, keys):
+        """Evaluate the function on a whole array of keys.
+
+        The family is *lazily materialised*: unseen keys consume one RNG
+        draw each, in order.  Batch evaluation therefore walks the keys in
+        stream order (preserving the exact scalar draw sequence, so batch
+        and scalar ingestion build bit-identical functions) with the
+        per-item validation hoisted out of the loop.  The memo stays small
+        — the calling algorithms only feed this family the ``O(K_RE)``
+        surviving items — so the Python-level walk is not the hot path.
+
+        Args:
+            keys: integer sequence or ndarray with values in
+                ``[0, universe_size)``.
+
+        Returns:
+            An ``int64`` ndarray of values in ``[0, range_size)``.
+        """
+        keys = as_key_array(keys, self.universe_size)
+        if self._failed:
+            return np.zeros(keys.shape, dtype=np.int64)
+        draw = self.draw_value
+        out = np.empty(keys.shape, dtype=np.int64)
+        for position, key in enumerate(keys.tolist()):
+            out[position] = draw(key)
+        return out
 
     def overflowed(self) -> bool:
         """Return True when more than ``capacity`` distinct keys were queried."""

@@ -14,6 +14,7 @@ from .generators import (
     distinct_items_stream,
     duplicated_union_streams,
     growing_then_repeating_stream,
+    iter_item_chunks,
     low_bits_adversarial_stream,
     sequential_stream,
     uniform_random_stream,
@@ -42,6 +43,7 @@ __all__ = [
     "distinct_items_stream",
     "duplicated_union_streams",
     "growing_then_repeating_stream",
+    "iter_item_chunks",
     "low_bits_adversarial_stream",
     "sequential_stream",
     "uniform_random_stream",

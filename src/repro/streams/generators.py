@@ -23,11 +23,13 @@ and takes an explicit ``seed`` so experiments are reproducible.
 
 from __future__ import annotations
 
+import itertools
 import random
-from typing import List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..exceptions import ParameterError
 from ..hashing.bitops import reverse_bits
+from ..vectorize import HAS_NUMPY, np
 from .model import MaterializedStream, Update
 
 __all__ = [
@@ -38,7 +40,36 @@ __all__ = [
     "low_bits_adversarial_stream",
     "growing_then_repeating_stream",
     "duplicated_union_streams",
+    "iter_item_chunks",
 ]
+
+
+def iter_item_chunks(items: Iterable[int], chunk_size: int) -> Iterator["object"]:
+    """Yield identifiers from any (possibly unbounded) source in chunks.
+
+    The batch-ingestion counterpart of feeding an iterator item by item:
+    each yielded chunk is a ``uint64`` NumPy array of up to ``chunk_size``
+    identifiers, ready for ``update_batch``.  Materialised streams should
+    prefer :meth:`repro.streams.model.MaterializedStream.iter_item_batches`
+    (zero-copy views); this helper exists for live sources — sockets,
+    generators, database cursors — where only a bounded window may be
+    buffered at a time.
+
+    Args:
+        items: any iterable of non-negative integers.
+        chunk_size: positive maximum chunk length.
+    """
+    if chunk_size <= 0:
+        raise ParameterError("chunk_size must be positive")
+    iterator = iter(items)
+    while True:
+        window = list(itertools.islice(iterator, chunk_size))
+        if not window:
+            return
+        if HAS_NUMPY:
+            yield np.asarray(window, dtype=np.uint64)
+        else:  # pragma: no cover - numpy is a declared dependency
+            yield window
 
 
 def _check_universe(universe_size: int) -> None:

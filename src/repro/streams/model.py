@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError, StreamFormatError
+from ..vectorize import HAS_NUMPY, np
 
 __all__ = [
     "Update",
@@ -131,6 +132,59 @@ class MaterializedStream:
         """Yield just the item identifiers (useful for insertion-only sketches)."""
         for update in self._updates:
             yield update.item
+
+    def item_array(self):
+        """Return the item identifiers as a ``uint64`` NumPy array (cached).
+
+        This is the zero-copy input to the vectorized ``update_batch``
+        paths; slicing it (as :meth:`iter_item_batches` does) creates views,
+        so replaying a stream in batches does not copy the stream.  Falls
+        back to a plain list when NumPy is unavailable.
+        """
+        cached = getattr(self, "_item_array", None)
+        if cached is None:
+            if HAS_NUMPY:
+                cached = np.fromiter(
+                    (update.item for update in self._updates),
+                    dtype=np.uint64,
+                    count=len(self._updates),
+                )
+            else:  # pragma: no cover - numpy is a declared dependency
+                cached = [update.item for update in self._updates]
+            self._item_array = cached
+        return cached
+
+    def delta_array(self):
+        """Return the update deltas as an ``int64`` NumPy array (cached)."""
+        cached = getattr(self, "_delta_array", None)
+        if cached is None:
+            if HAS_NUMPY:
+                cached = np.fromiter(
+                    (update.delta for update in self._updates),
+                    dtype=np.int64,
+                    count=len(self._updates),
+                )
+            else:  # pragma: no cover - numpy is a declared dependency
+                cached = [update.delta for update in self._updates]
+            self._delta_array = cached
+        return cached
+
+    def iter_item_batches(self, batch_size: int) -> Iterator["object"]:
+        """Yield the item identifiers in chunks of ``batch_size``.
+
+        Each chunk is a NumPy array view over :meth:`item_array` (no
+        copying); the final chunk may be shorter.  This is the canonical
+        way to drive an estimator's ``update_batch`` over a materialised
+        stream.
+
+        Args:
+            batch_size: positive chunk length.
+        """
+        if batch_size <= 0:
+            raise ParameterError("batch_size must be positive")
+        items = self.item_array()
+        for start in range(0, len(self._updates), batch_size):
+            yield items[start : start + batch_size]
 
     def is_insertion_only(self) -> bool:
         """Return True when every update has ``delta == +1``."""

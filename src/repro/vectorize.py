@@ -1,0 +1,406 @@
+"""NumPy substrate for the batch-ingestion pipeline.
+
+Every estimator exposes ``update_batch(items)`` (see
+:class:`repro.estimators.base.CardinalityEstimator`); the vectorized
+overrides all reduce to the same handful of primitives, which live here:
+
+* converting an arbitrary integer sequence into a validated ``uint64``
+  key array (:func:`as_key_array`);
+* *exact* batched modular arithmetic for the Carter--Wegman families.
+  The field primes chosen by :func:`repro.hashing.primes.field_prime_for_universe`
+  are almost always the Mersenne primes ``2^31 - 1`` / ``2^61 - 1``, for
+  which products can be reduced without ever leaving 64-bit words (split
+  the multiplier into limbs and fold with the identity
+  ``2^b = 1 mod (2^b - 1)``).  Non-Mersenne moduli take a float-quotient
+  Barrett path (exact for ``p < 2^52``) or, as a last resort, NumPy object
+  arrays of Python integers — slower, but still free of per-item Python
+  function-call overhead;
+* the vectorized de Bruijn ``lsb`` used by every rho/level extraction
+  (:func:`lsb64_batch`, mirroring :func:`repro.hashing.bitops.lsb64`).
+
+NumPy is an optional dependency at import time: when it is missing,
+``np`` is ``None``, the scalar API keeps working, and the base-class
+loop ``update_batch`` remains available; the vectorized overrides (and
+everything here that needs an ndarray) raise a clear
+:class:`~repro.exceptions.ParameterError` via :func:`require_numpy`
+instead of degrading silently, so a deployment that expected the fast
+path finds out immediately.
+
+All routines here are *exact* — batch ingestion must produce bit-identical
+sketch state to the scalar loop (``tests/test_batch_equivalence.py``), so
+no primitive is allowed to trade correctness for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .exceptions import ParameterError
+
+try:  # pragma: no cover - exercised implicitly by every batch test
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "np",
+    "HAS_NUMPY",
+    "require_numpy",
+    "as_key_array",
+    "mulmod",
+    "affine_mod",
+    "mod_range",
+    "mulmod_arrays",
+    "lsb64_batch",
+]
+
+HAS_NUMPY = np is not None
+
+_MASK64 = (1 << 64) - 1
+_MERSENNE_EXPONENTS = {(1 << 31) - 1: 31, (1 << 61) - 1: 61}
+
+if HAS_NUMPY:
+    _DEBRUIJN64 = np.uint64(0x03F79D71B4CB0A89)
+    _DEBRUIJN64_TABLE = np.zeros(64, dtype=np.int64)
+    for _i in range(64):
+        _DEBRUIJN64_TABLE[((1 << _i) * 0x03F79D71B4CB0A89 & _MASK64) >> 58] = _i
+
+
+def require_numpy(feature: str) -> None:
+    """Raise a clear error when a vectorized path is hit without numpy."""
+    if not HAS_NUMPY:
+        raise ParameterError(
+            "%s requires numpy; install the package's declared dependencies "
+            "or use the scalar update() API" % feature
+        )
+
+
+def as_key_array(
+    items: Union[Sequence[int], "np.ndarray"],
+    universe_size: Optional[int] = None,
+) -> "np.ndarray":
+    """Convert a batch of item identifiers to a validated ``uint64`` array.
+
+    This is the single entry point for batch-input validation: every
+    ``update_batch`` override funnels its ``items`` through here, so dtype
+    handling and range checking are uniform across estimators.
+
+    Args:
+        items: any integer sequence or ndarray.  Identifiers must be
+            non-negative and, like the scalar API, fit the word-RAM model's
+            64-bit words.
+        universe_size: when given, every identifier must lie in
+            ``[0, universe_size)`` — the same check the scalar ``update``
+            performs per item, applied once to the whole batch *before* any
+            state is mutated (batch validation is all-or-nothing).
+
+    Returns:
+        A ``uint64`` ndarray (zero-copy when ``items`` already is one).
+        Inputs with identifiers beyond 64 bits — object-dtype arrays, or
+        sequences of large Python ints for universes past ``2^64`` — are
+        validated and returned as object arrays, which every
+        ``hash_batch`` accepts (exact, slower).
+
+    Raises:
+        ParameterError: on negative or out-of-universe identifiers.
+    """
+    require_numpy("batch ingestion")
+    if isinstance(items, np.ndarray):
+        if items.dtype == np.uint64:
+            keys = items
+        elif items.dtype == object:
+            keys = items
+        else:
+            if items.dtype.kind not in ("i", "u"):
+                raise ParameterError("batch items must be integers")
+            if items.size and items.dtype.kind == "i" and int(items.min()) < 0:
+                raise ParameterError("item identifiers must be non-negative")
+            keys = items.astype(np.uint64)
+    else:
+        try:
+            # Explicit negativity check first: NumPy < 2.0 silently *wraps*
+            # negative Python ints into uint64 instead of raising, which
+            # could smuggle a wrapped key past the range check below.
+            if len(items) and min(items) < 0:
+                raise ParameterError("item identifiers must be non-negative")
+            keys = np.asarray(items, dtype=np.uint64)
+        except ParameterError:
+            raise
+        except (TypeError, ValueError, OverflowError) as exc:
+            if universe_size is not None and universe_size > (1 << 64):
+                # Giant universes: keep exact Python ints in an object array.
+                keys = np.empty(len(items), dtype=object)
+                keys[:] = list(items)
+            else:
+                raise ParameterError(
+                    "batch items must be non-negative integers"
+                ) from exc
+    if keys.ndim != 1:
+        keys = keys.reshape(-1)
+    if keys.dtype == object and keys.size:
+        for key in keys.tolist():
+            if not isinstance(key, int) or key < 0:
+                raise ParameterError("batch items must be non-negative integers")
+    if universe_size is not None and keys.size:
+        top = int(keys.max())
+        if top >= universe_size:
+            raise ParameterError(
+                "item %d outside universe [0, %d)" % (top, universe_size)
+            )
+    return keys
+
+
+# --------------------------------------------------------------------------
+# Exact batched modular arithmetic.
+# --------------------------------------------------------------------------
+
+
+def _reduce_in_place(values: "np.ndarray", prime: int, rounds: int = 1) -> "np.ndarray":
+    """Conditionally subtract ``prime`` from ``values`` (owned buffer), in place.
+
+    Branch-free: for ``values < 2p`` (with ``p < 2^63``), ``values - p``
+    wraps past ``2^63`` exactly when ``values < p``, so the elementwise
+    minimum of the two is the reduced representative.  This outperforms a
+    masked subtract by a wide margin on large arrays.
+    """
+    p = np.uint64(prime)
+    for _ in range(rounds):
+        np.minimum(values, values - p, out=values)
+    return values
+
+
+def _mersenne_fold(
+    values: "np.ndarray", exponent: int, prime: int, bound_bits: int = 64
+) -> "np.ndarray":
+    """Reduce ``values < 2^bound_bits`` modulo the Mersenne prime ``2^exponent - 1``.
+
+    Uses ``2^exponent = 1 (mod p)``: repeatedly add the high part to the low
+    part (each round shrinks the bound to ``max(exponent, bound - exponent)
+    + 1`` bits), then subtract ``p`` the provably required number of times —
+    division-free, which is what makes the Mersenne moduli the batch fast
+    path.  The caller must own ``values`` (every call site passes a fresh
+    product array); it may be reduced in place.
+    """
+    if bound_bits < exponent:
+        return values  # already strictly below p
+    if bound_bits == exponent:
+        return _reduce_in_place(values, prime)  # at most the value p itself
+    mask = np.uint64(prime)
+    e = np.uint64(exponent)
+    # After each fold, folded <= (2^e - 1) + (2^h - 1) where h is the bit
+    # width of the (pre-fold) high part; refold while the high part alone
+    # can exceed p, then subtract p once (twice in the h == e edge case,
+    # where folded can reach exactly 2p).
+    high_bits = bound_bits - exponent
+    folded = (values & mask) + (values >> e)
+    while high_bits > exponent:
+        high_bits = max(exponent, high_bits) + 1 - exponent
+        folded = (folded & mask) + (folded >> e)
+    return _reduce_in_place(folded, prime, rounds=2 if high_bits >= exponent else 1)
+
+
+def _mersenne_rotate(values: "np.ndarray", shift: int, exponent: int, prime: int) -> "np.ndarray":
+    """Return ``values * 2^shift mod (2^exponent - 1)`` for ``values < 2^exponent``.
+
+    Multiplying by a power of two modulo a Mersenne prime is a bit rotation
+    within the ``exponent``-bit word; both halves stay below ``2^exponent``
+    so the computation never overflows ``uint64`` and one conditional
+    subtract restores ``[0, p)``.  ``values`` must be caller-owned.
+    """
+    shift %= exponent
+    if shift == 0:
+        return _reduce_in_place(values, prime)
+    rotated = (values & np.uint64((1 << (exponent - shift)) - 1)) << np.uint64(shift)
+    rotated += values >> np.uint64(exponent - shift)
+    return _reduce_in_place(rotated, prime)
+
+
+def _to_object_array(values: "np.ndarray") -> "np.ndarray":
+    """Convert a numeric ndarray to an object array of Python ints."""
+    if values.dtype == object:
+        return values
+    out = np.empty(values.shape, dtype=object)
+    out[:] = [int(v) for v in values.tolist()]
+    return out
+
+
+def mulmod(
+    multiplier: int,
+    keys: "np.ndarray",
+    prime: int,
+    key_bound: int,
+) -> "np.ndarray":
+    """Return ``(multiplier * keys) % prime`` exactly, elementwise.
+
+    Args:
+        multiplier: a scalar in ``[0, prime)``.
+        keys: ``uint64`` (or object) array with values in ``[0, key_bound)``.
+        prime: the field modulus.
+        key_bound: exclusive upper bound on the key values; selects the
+            fastest exact strategy.
+
+    Returns:
+        A ``uint64`` array when the arithmetic fits in words, otherwise an
+        object array of Python integers.
+    """
+    if keys.dtype == object:
+        return (keys * multiplier) % prime
+    key_bits = max(key_bound - 1, 1).bit_length()
+    exponent = _MERSENNE_EXPONENTS.get(prime)
+    product_bits = (multiplier * max(key_bound - 1, 1)).bit_length()
+    # Direct path: the full product fits in an unsigned 64-bit word.
+    if product_bits <= 64:
+        product = np.uint64(multiplier) * keys
+        if prime >= (1 << 64):
+            return product  # already below the modulus
+        if exponent is not None:
+            # Division-free reduction for the Mersenne moduli.
+            return _mersenne_fold(product, exponent, prime, bound_bits=product_bits)
+        return product % np.uint64(prime)
+    if exponent is not None and key_bits <= 64 - (exponent // 2 + 1):
+        # Split the multiplier into limbs small enough that every partial
+        # product fits in 64 bits, then recombine with Mersenne rotations:
+        # Horner over limbs, entirely division-free.
+        limb_bits = 64 - key_bits
+        acc = None
+        shift = ((exponent + limb_bits - 1) // limb_bits - 1) * limb_bits
+        while shift >= 0:
+            limb = (multiplier >> shift) & ((1 << limb_bits) - 1)
+            part_bits = (limb * max(key_bound - 1, 1)).bit_length()
+            part = _mersenne_fold(
+                np.uint64(limb) * keys, exponent, prime, bound_bits=part_bits
+            )
+            if acc is None:
+                acc = part
+            else:
+                acc = _mersenne_rotate(acc, limb_bits, exponent, prime)
+                acc += part
+                _reduce_in_place(acc, prime)
+            shift -= limb_bits
+        return acc
+    if prime < (1 << 62) and key_bits <= 32:
+        # Generic split: high/low halves of the multiplier, with the high
+        # product shifted back into range by repeated exact doubling.
+        s = 31
+        high = (np.uint64(multiplier >> s) * keys) % np.uint64(prime)
+        for _ in range(s):
+            high = high + high
+            _reduce_in_place(high, prime)
+        low = (np.uint64(multiplier & ((1 << s) - 1)) * keys) % np.uint64(prime)
+        high += low
+        return _reduce_in_place(high, prime)
+    # Fallback: exact Python-int arithmetic, still array-at-a-time.
+    return (_to_object_array(keys) * multiplier) % prime
+
+
+def affine_mod(
+    multiplier: int,
+    offset: int,
+    keys: "np.ndarray",
+    prime: int,
+    key_bound: int,
+) -> "np.ndarray":
+    """Return ``(multiplier * keys + offset) % prime`` exactly, elementwise."""
+    product = mulmod(multiplier, keys, prime, key_bound)
+    if product.dtype == object or prime >= (1 << 63):
+        return (_to_object_array(product) + offset) % prime
+    # product < prime < 2^63 and offset < prime, so the sum fits in uint64.
+    product += np.uint64(offset)
+    return _reduce_in_place(product, prime)
+
+
+def mod_range(values: "np.ndarray", range_size: int) -> "np.ndarray":
+    """Reduce hash values modulo an output range, cheaply where possible.
+
+    Power-of-two ranges become a mask (the common case for the estimators'
+    bin counts and the cubed spreading domains); ranges at least ``2^64``
+    leave 64-bit values untouched; everything else pays one division pass.
+    """
+    if values.dtype == object:
+        return values % range_size
+    if range_size >= (1 << 64):
+        return values
+    if range_size & (range_size - 1) == 0:
+        return values & np.uint64(range_size - 1)
+    return values % np.uint64(range_size)
+
+
+def mulmod_arrays(
+    left: "np.ndarray",
+    right: "np.ndarray",
+    prime: int,
+    right_bound: int,
+) -> "np.ndarray":
+    """Return ``(left * right) % prime`` exactly for two arrays.
+
+    ``left`` may hold any values in ``[0, prime)``; ``right`` values must lie
+    in ``[0, right_bound)``.  Used by the Horner evaluation of the k-wise
+    polynomial families, where the accumulator is a full field element but
+    the evaluation point is bounded by the hash's key domain.
+    """
+    if left.dtype == object or right.dtype == object:
+        return (_to_object_array(left) * _to_object_array(right)) % prime
+    right_bits = max(right_bound - 1, 1).bit_length()
+    exponent = _MERSENNE_EXPONENTS.get(prime)
+    if prime * max(right_bound - 1, 1) < (1 << 64):
+        product = left * right
+        if exponent is not None:
+            bound = ((prime - 1) * max(right_bound - 1, 1)).bit_length()
+            return _mersenne_fold(product, exponent, prime, bound_bits=bound)
+        return product % np.uint64(prime)
+    if exponent is not None and right_bits <= 63 - exponent // 2:
+        # Limb-split the *left* array; each limb-by-right product fits.
+        limb_bits = 64 - right_bits
+        acc = None
+        shift = ((exponent + limb_bits - 1) // limb_bits - 1) * limb_bits
+        while shift >= 0:
+            limb = (left >> np.uint64(shift)) & np.uint64((1 << limb_bits) - 1)
+            part = _mersenne_fold(
+                limb * right, exponent, prime, bound_bits=limb_bits + right_bits
+            )
+            if acc is None:
+                acc = part
+            else:
+                acc = _mersenne_rotate(acc, limb_bits, exponent, prime)
+                acc += part
+                _reduce_in_place(acc, prime)
+            shift -= limb_bits
+        return acc
+    if prime < (1 << 52):
+        # Barrett-style reduction with a float64 quotient estimate: the
+        # quotient is off by at most 2, so adding 2p before the final exact
+        # remainder keeps everything non-negative and inside uint64.
+        quotient = np.floor(
+            left.astype(np.float64) * right.astype(np.float64) / float(prime)
+        ).astype(np.uint64)
+        residue = left * right - quotient * np.uint64(prime)  # exact mod 2^64
+        residue = residue + np.uint64(2 * prime)
+        return residue % np.uint64(prime)
+    return (_to_object_array(left) * _to_object_array(right)) % prime
+
+
+# --------------------------------------------------------------------------
+# Vectorized word primitives.
+# --------------------------------------------------------------------------
+
+
+def lsb64_batch(values: "np.ndarray", zero_value: int) -> "np.ndarray":
+    """Vectorized least-significant-set-bit of 64-bit words.
+
+    The de Bruijn multiplication of :func:`repro.hashing.bitops.lsb64`
+    applied to a whole ``uint64`` array; entries equal to zero map to
+    ``zero_value`` (the paper's ``lsb(0) = log n`` convention).
+
+    Args:
+        values: ``uint64`` array.
+        zero_value: result assigned to zero entries.
+
+    Returns:
+        An ``int64`` array of bit indices (or ``zero_value``).
+    """
+    isolated = values & (np.uint64(0) - values)
+    indices = (isolated * _DEBRUIJN64) >> np.uint64(58)
+    result = _DEBRUIJN64_TABLE[indices]
+    if zero_value != 0:
+        return np.where(values == 0, np.int64(zero_value), result)
+    return np.where(values == 0, np.int64(0), result)

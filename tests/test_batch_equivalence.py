@@ -1,0 +1,301 @@
+"""Batch/scalar equivalence: the binding contract of ``update_batch``.
+
+For every estimator with a vectorized ``update_batch`` override, feeding
+the same stream through batches of sizes {1, 7, 1024} must leave the
+sketch in *bit-identical* state — and produce identical estimates — to
+the scalar ``update`` loop.  The state comparisons below reach into each
+sketch's actual storage (registers, bitmaps, counters, samples, base
+levels, budgets) rather than only the estimate, so a batch path that
+"merely" lands near the right answer fails loudly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.bjkst import BJKSTSampler
+from repro.baselines.flajolet_martin import FlajoletMartinPCSA
+from repro.baselines.hyperloglog import HyperLogLogCounter
+from repro.baselines.kmv import KMinimumValues
+from repro.baselines.linear_counting import LinearCounter
+from repro.baselines.loglog import LogLogCounter
+from repro.core.knw import KNWDistinctCounter, KNWFigure3Sketch
+from repro.core.rough_estimator import FastRoughEstimator, RoughEstimator
+from repro.exceptions import ParameterError
+from repro.streams.generators import (
+    distinct_items_stream,
+    uniform_random_stream,
+    zipf_stream,
+)
+
+UNIVERSE = 1 << 20
+BATCH_SIZES = [1, 7, 1024]
+
+
+def _stream_items(kind: str, length: int, seed: int):
+    if kind == "uniform":
+        stream = uniform_random_stream(UNIVERSE, length, seed=seed)
+    elif kind == "zipf":
+        stream = zipf_stream(UNIVERSE, length, seed=seed)
+    else:
+        stream = distinct_items_stream(UNIVERSE, length // 2, repetitions=2, seed=seed)
+    return [update.item for update in stream]
+
+
+def _feed_batches(estimator, items, batch_size):
+    for start in range(0, len(items), batch_size):
+        estimator.update_batch(
+            np.asarray(items[start : start + batch_size], dtype=np.uint64)
+        )
+
+
+# -- per-estimator state extractors (the full externally meaningful state) -----
+
+
+def _hll_state(est):
+    return est._registers.to_list()
+
+
+def _fm_state(est):
+    return [bitmap.to_list() for bitmap in est._bitmaps]
+
+
+def _lc_state(est):
+    return est._bitmap.to_list()
+
+
+def _kmv_state(est):
+    return (est._values, sorted(est._members))
+
+
+def _bjkst_state(est):
+    return (est._level, est._sample)
+
+
+def _rough_state(est):
+    return [copy.counters.to_list() for copy in est._copies]
+
+
+def _fast_rough_state(est):
+    return (_rough_state(est), est._committed_level, est._cached_estimate)
+
+
+def _fig3_state(est):
+    return (
+        est._counters,
+        est._base_level,
+        est._est_exponent,
+        est._occupied,
+        est._bit_budget,
+        est._failed,
+    )
+
+
+def _knw_state(est):
+    return (
+        _fig3_state(est.core),
+        _rough_state(est.core.rough),
+        sorted(est.small._exact),
+        est.small._exact_overflowed,
+        est.small._bits.to_list(),
+    )
+
+
+ESTIMATORS = [
+    ("hyperloglog", lambda seed: HyperLogLogCounter(UNIVERSE, eps=0.05, seed=seed), _hll_state),
+    ("loglog", lambda seed: LogLogCounter(UNIVERSE, eps=0.05, seed=seed), _hll_state),
+    ("flajolet-martin", lambda seed: FlajoletMartinPCSA(UNIVERSE, maps=64, seed=seed), _fm_state),
+    ("linear-counting", lambda seed: LinearCounter(UNIVERSE, bits=4096, seed=seed), _lc_state),
+    ("kmv", lambda seed: KMinimumValues(UNIVERSE, eps=0.05, seed=seed), _kmv_state),
+    ("bjkst", lambda seed: BJKSTSampler(UNIVERSE, eps=0.05, seed=seed), _bjkst_state),
+    ("rough", lambda seed: RoughEstimator(UNIVERSE, seed=seed), _rough_state),
+    (
+        "rough-uniform",
+        lambda seed: RoughEstimator(UNIVERSE, seed=seed, use_uniform_family=True),
+        _rough_state,
+    ),
+    ("rough-fast", lambda seed: FastRoughEstimator(UNIVERSE, seed=seed), _fast_rough_state),
+    ("figure3", lambda seed: KNWFigure3Sketch(UNIVERSE, eps=0.1, seed=seed), _fig3_state),
+    ("knw", lambda seed: KNWDistinctCounter(UNIVERSE, eps=0.05, seed=seed), _knw_state),
+    (
+        "knw-paper",
+        lambda seed: KNWDistinctCounter(
+            UNIVERSE, eps=0.05, seed=seed, offset_divisor=32, rough_uniform_family=False
+        ),
+        _knw_state,
+    ),
+]
+
+
+@pytest.mark.parametrize("workload", ["uniform", "zipf", "distinct"])
+@pytest.mark.parametrize(
+    "name,factory,state", ESTIMATORS, ids=[entry[0] for entry in ESTIMATORS]
+)
+def test_batch_matches_scalar_bit_for_bit(name, factory, state, workload):
+    items = _stream_items(workload, 6000, seed=101)
+    scalar = factory(31)
+    for item in items:
+        scalar.update(item)
+    scalar_state = state(scalar)
+    scalar_estimate = scalar.estimate()
+    for batch_size in BATCH_SIZES:
+        batched = factory(31)
+        _feed_batches(batched, items, batch_size)
+        assert state(batched) == scalar_state, (
+            "%s state diverged at batch size %d" % (name, batch_size)
+        )
+        assert batched.estimate() == scalar_estimate, (
+            "%s estimate diverged at batch size %d" % (name, batch_size)
+        )
+
+
+@pytest.mark.parametrize(
+    "name,factory,state", ESTIMATORS, ids=[entry[0] for entry in ESTIMATORS]
+)
+def test_mixed_scalar_and_batch_ingestion(name, factory, state):
+    """Interleaving scalar updates and batches must equal the pure loop."""
+    items = _stream_items("uniform", 3000, seed=7)
+    reference = factory(5)
+    for item in items:
+        reference.update(item)
+    mixed = factory(5)
+    cursor = 0
+    rng = random.Random(9)
+    while cursor < len(items):
+        if rng.random() < 0.5:
+            mixed.update(items[cursor])
+            cursor += 1
+        else:
+            take = rng.randrange(1, 300)
+            mixed.update_batch(np.asarray(items[cursor : cursor + take], dtype=np.uint64))
+            cursor += take
+    assert state(mixed) == state(reference)
+    assert mixed.estimate() == reference.estimate()
+
+
+def test_empty_batch_is_a_no_op():
+    estimator = HyperLogLogCounter(UNIVERSE, eps=0.05, seed=1)
+    before = _hll_state(estimator)
+    estimator.update_batch(np.asarray([], dtype=np.uint64))
+    estimator.update_batch([])
+    assert _hll_state(estimator) == before
+
+
+def test_batch_validation_is_all_or_nothing():
+    """An out-of-universe batch raises and leaves the sketch untouched."""
+    estimator = KNWDistinctCounter(UNIVERSE, eps=0.1, seed=3)
+    estimator.update_batch(np.arange(100, dtype=np.uint64))
+    before = _knw_state(estimator)
+    with pytest.raises(ParameterError):
+        estimator.update_batch(np.asarray([5, UNIVERSE + 4, 6], dtype=np.uint64))
+    assert _knw_state(estimator) == before
+
+
+def test_batch_list_input_accepted():
+    """update_batch accepts plain Python sequences, not just ndarrays."""
+    a = KMinimumValues(UNIVERSE, eps=0.1, seed=11)
+    b = KMinimumValues(UNIVERSE, eps=0.1, seed=11)
+    items = _stream_items("uniform", 500, seed=13)
+    for item in items:
+        a.update(item)
+    b.update_batch(items)
+    assert _kmv_state(a) == _kmv_state(b)
+
+
+def test_batched_merge_matches_scalar_merge():
+    """Merging batch-fed sketches equals merging scalar-fed sketches."""
+    left_items = _stream_items("uniform", 2000, seed=17)
+    right_items = _stream_items("uniform", 2000, seed=19)
+
+    def merged(feed):
+        left = KNWDistinctCounter(UNIVERSE, eps=0.1, seed=23)
+        right = KNWDistinctCounter(UNIVERSE, eps=0.1, seed=23)
+        feed(left, left_items)
+        feed(right, right_items)
+        left.merge(right)
+        return left
+
+    def scalar_feed(est, items):
+        for item in items:
+            est.update(item)
+
+    def batch_feed(est, items):
+        est.update_batch(np.asarray(items, dtype=np.uint64))
+
+    scalar_merged = merged(scalar_feed)
+    batch_merged = merged(batch_feed)
+    assert _knw_state(batch_merged) == _knw_state(scalar_merged)
+    assert batch_merged.estimate() == scalar_merged.estimate()
+
+
+def test_giant_universe_batch_matches_scalar():
+    """Universes beyond 2^61 take the exact object-array hash fallback;
+    batch ingestion must still work and agree with the scalar loop."""
+    universe = 1 << 62
+    items = [random.Random(3).randrange(universe) for _ in range(300)]
+    cases = [
+        ("knw", lambda: KNWDistinctCounter(universe, eps=0.1, seed=5), _knw_state),
+        ("bjkst", lambda: BJKSTSampler(universe, eps=0.1, seed=5), _bjkst_state),
+        ("rough", lambda: RoughEstimator(universe, seed=5), _rough_state),
+        (
+            "hyperloglog",
+            lambda: HyperLogLogCounter(universe, eps=0.1, seed=5),
+            _hll_state,
+        ),
+        ("kmv", lambda: KMinimumValues(universe, eps=0.1, seed=5), _kmv_state),
+    ]
+    for name, factory, state in cases:
+        scalar = factory()
+        for item in items:
+            scalar.update(item)
+        batched = factory()
+        for start in range(0, len(items), 97):
+            batched.update_batch(items[start : start + 97])
+        assert state(batched) == state(scalar), name
+        assert batched.estimate() == scalar.estimate(), name
+
+
+def test_network_monitor_observe_batch_equals_observe():
+    from repro.apps.network_monitor import FlowCardinalityMonitor
+    from repro.streams.datasets import FlowRecord
+
+    rng = random.Random(41)
+    records = [
+        FlowRecord(rng.randrange(64), rng.randrange(4096), rng.randrange(1024))
+        for _ in range(2500)
+    ]
+    scalar = FlowCardinalityMonitor(universe_size=1 << 16, window_packets=1000, seed=2)
+    batched = FlowCardinalityMonitor(universe_size=1 << 16, window_packets=1000, seed=2)
+    scalar_reports = [r for r in (scalar.observe(rec) for rec in records) if r]
+    batched_reports = []
+    for start in range(0, len(records), 700):
+        batched_reports.extend(batched.observe_batch(records[start : start + 700]))
+    assert [r.__dict__ for r in batched_reports] == [r.__dict__ for r in scalar_reports]
+    assert scalar.flush().__dict__ == batched.flush().__dict__
+
+
+def test_query_optimizer_column_ingest_equals_row_ingest():
+    from repro.apps.query_optimizer import ColumnStatisticsCollector
+
+    rng = random.Random(43)
+    values = [rng.randrange(1 << 16) if rng.random() > 0.1 else None for _ in range(3000)]
+    by_row = ColumnStatisticsCollector(["c"], universe_size=1 << 16, eps=0.1, seed=5)
+    by_column = ColumnStatisticsCollector(["c"], universe_size=1 << 16, eps=0.1, seed=5)
+    for value in values:
+        by_row.ingest_row({"c": value})
+    by_column.ingest_column("c", values)
+    assert by_row.ndv("c") == by_column.ndv("c")
+    assert by_row._row_counts == by_column._row_counts
+
+
+def test_process_stream_batched_equals_scalar():
+    stream = uniform_random_stream(UNIVERSE, 4000, seed=29)
+    scalar = HyperLogLogCounter(UNIVERSE, eps=0.05, seed=31)
+    batched = HyperLogLogCounter(UNIVERSE, eps=0.05, seed=31)
+    scalar_result = scalar.process_stream(stream)
+    batched_result = batched.process_stream(stream, batch_size=512)
+    assert scalar_result == batched_result
+    assert _hll_state(scalar) == _hll_state(batched)
