@@ -1,0 +1,148 @@
+"""Sharded multi-process ingestion vs. serial batched ingestion.
+
+The parallel engine exists to turn cores into throughput: partition a
+heavy stream, ingest every shard in a worker process through the
+vectorized batch pipeline, merge-reduce the serialized shard sketches.
+This benchmark measures that end to end — stream sharding, worker
+fan-out, state transport, merge — against the strongest serial baseline
+(the ``update_batch`` fast path, not the scalar loop), and checks the
+merged estimate agrees with the serial one.
+
+Acceptance gate (asserted when the hardware can express it): at
+8 workers on a >= 10M-item stream, at least one estimator must ingest
+at least 2x faster than serial batched ingestion.  The gate needs
+actual parallel hardware, so it is skipped — with the measured table
+still printed — when fewer than 4 usable cores are available or when
+the stream has been shrunk below 10M items for a smoke run.
+
+Environment knobs (for CI smoke runs and local experiments):
+
+* ``BENCH_PARALLEL_ITEMS`` — stream length (default 10_000_000).
+* ``BENCH_PARALLEL_WORKERS`` — worker count (default 8).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.parallel import parallel_ingest_f0
+from repro.estimators.registry import make_f0_estimator
+
+#: Universe for the parallel benchmark (large enough that 10M items stay
+#: far from exhausting it).
+PARALLEL_UNIVERSE = 1 << 26
+
+#: Full-scale defaults; override via the environment for smoke runs.
+STREAM_LENGTH = int(os.environ.get("BENCH_PARALLEL_ITEMS", 10_000_000))
+WORKERS = int(os.environ.get("BENCH_PARALLEL_WORKERS", 8))
+
+#: Chunk length for both the serial baseline and the shard workers.
+BATCH_LENGTH = 1 << 16
+
+#: Estimators measured.  ``knw-paper`` carries the acceptance gate
+#: honours: its per-item work is the heaviest, so it has the most to
+#: gain from fan-out; HyperLogLog bounds the other end (its batch path
+#: is so fast that transport overhead dominates).
+ESTIMATORS = ["hyperloglog", "kmv", "knw-paper"]
+
+#: Speedup at least one estimator must reach at full scale.
+SPEEDUP_FLOOR = 2.0
+
+#: Cores below which the speedup gate cannot be expressed.
+MIN_GATE_CORES = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _stream() -> np.ndarray:
+    rng = np.random.default_rng(20100608)
+    return rng.integers(0, PARALLEL_UNIVERSE, size=STREAM_LENGTH, dtype=np.uint64)
+
+
+def _serial_seconds(name: str, items: np.ndarray) -> "tuple[float, float]":
+    estimator = make_f0_estimator(name, PARALLEL_UNIVERSE, 0.05, seed=1)
+    start = time.perf_counter()
+    for cursor in range(0, len(items), BATCH_LENGTH):
+        estimator.update_batch(items[cursor : cursor + BATCH_LENGTH])
+    return time.perf_counter() - start, estimator.estimate()
+
+
+def _parallel_seconds(name: str, items: np.ndarray) -> "tuple[float, float]":
+    start = time.perf_counter()
+    estimator = parallel_ingest_f0(
+        name,
+        items,
+        0.05,
+        1,
+        universe_size=PARALLEL_UNIVERSE,
+        workers=WORKERS,
+        batch_size=BATCH_LENGTH,
+        execution="processes",
+    )
+    return time.perf_counter() - start, estimator.estimate()
+
+
+def test_parallel_ingest_speedup(benchmark):
+    """E-parallel: 8-worker sharded ingest vs serial batched ingest."""
+    items = _stream()
+    truth_scale = len(items)
+
+    def experiment():
+        rows = {}
+        for name in ESTIMATORS:
+            serial_s, serial_estimate = _serial_seconds(name, items)
+            parallel_s, parallel_estimate = _parallel_seconds(name, items)
+            rows[name] = (serial_s, parallel_s, serial_s / parallel_s,
+                          serial_estimate, parallel_estimate)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    lines = [
+        "%-12s %10s %10s %9s" % ("algorithm", "serial s", "8-way s", "speedup")
+    ]
+    for name, (serial_s, parallel_s, speedup, _, _) in rows.items():
+        lines.append(
+            "%-12s %10.2f %10.2f %8.2fx" % (name, serial_s, parallel_s, speedup)
+        )
+    cores = _usable_cores()
+    emit(
+        "E-parallel -- sharded ingest, %d items, %d workers, %d cores"
+        % (truth_scale, WORKERS, cores),
+        "\n".join(lines),
+    )
+
+    # Sharded and serial ingestion must agree (bit-identical for the
+    # seed-determined estimators) regardless of the timing outcome.
+    for name, (_, _, _, serial_estimate, parallel_estimate) in rows.items():
+        assert parallel_estimate == serial_estimate, (
+            "%s sharded estimate %r diverged from serial %r"
+            % (name, parallel_estimate, serial_estimate)
+        )
+
+    if cores < MIN_GATE_CORES:
+        emit(
+            "E-parallel gate",
+            "skipped: %d usable core(s) cannot express a %d-worker speedup"
+            % (cores, WORKERS),
+        )
+        return
+    if truth_scale < 10_000_000:
+        emit(
+            "E-parallel gate",
+            "skipped: smoke-scale stream (%d items < 10M)" % truth_scale,
+        )
+        return
+    best = max(speedup for _, _, speedup, _, _ in rows.values())
+    assert best >= SPEEDUP_FLOOR, (
+        "no estimator reached %.1fx over serial batched ingest at %d workers "
+        "(best %.2fx)" % (SPEEDUP_FLOOR, WORKERS, best)
+    )

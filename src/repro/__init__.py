@@ -40,8 +40,13 @@ The main entry points are:
 * :class:`repro.estimators.base.CardinalityEstimator` — the estimator
   interface, including the ``update_batch`` equivalence contract.
 * :mod:`repro.vectorize` — the NumPy substrate behind batch ingestion.
+* :mod:`repro.serialize` — ``state_dict``/``to_bytes`` sketch transport
+  (every estimator round-trips bit-identically).
+* :mod:`repro.parallel` — sharded multi-process ingestion with
+  merge-reduce (``parallel_ingest_f0(..., workers=8)``).
 * :mod:`repro.analysis.runner` — run any estimator over any stream, with
-  optional ``batch_size`` for batched driving.
+  optional ``batch_size`` for batched driving and ``workers`` for
+  sharded multi-process ingestion.
 * :mod:`repro.apps` — query-optimiser, network-monitoring, and data-cleaning applications.
 
 See ``README.md`` for the module-to-theorem map and ``docs/architecture.md``
@@ -65,12 +70,14 @@ from .exceptions import (
     MergeError,
     ParameterError,
     ReproError,
+    SerializationError,
     SketchFailure,
     StreamFormatError,
     UpdateError,
 )
 from .l0.knw_l0 import KNWHammingNormEstimator
 from .l0.rough_l0 import RoughL0Estimator
+from .parallel import mergeable_f0_names, parallel_ingest_f0, parallel_ingest_into
 
 __all__ = [
     "__version__",
@@ -90,9 +97,13 @@ __all__ = [
     "MergeError",
     "ParameterError",
     "ReproError",
+    "SerializationError",
     "SketchFailure",
     "StreamFormatError",
     "UpdateError",
     "KNWHammingNormEstimator",
     "RoughL0Estimator",
+    "mergeable_f0_names",
+    "parallel_ingest_f0",
+    "parallel_ingest_into",
 ]

@@ -12,6 +12,15 @@ checkpoint boundaries so mid-stream reports still see exactly the
 requested prefixes).  Batch and scalar driving produce identical results
 — the batch API is contractually equivalent to the update loop — so
 sweeps can enable batching purely for throughput.
+
+F0 entry points additionally take ``workers``: when more than 1, each
+stream segment between checkpoints is ingested by the sharded
+multi-process engine (:mod:`repro.parallel`) — worker processes ingest
+contiguous shards into same-seed clones and the results merge-reduce
+back into the run's estimator, so mid-stream reports still see exactly
+the requested prefixes.  Requires a mergeable estimator; results are
+bit-identical to serial driving for seed-determined hash configurations
+(see ``CardinalityEstimator.shard_deterministic``).
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from typing import List, Optional, Sequence
 from ..estimators.base import CardinalityEstimator, TurnstileEstimator
 from ..estimators.registry import make_f0_estimator, make_l0_estimator
 from ..exceptions import ParameterError, UpdateError
+from ..parallel import DEFAULT_SHARD_BATCH, parallel_ingest_into
 from ..streams.model import MaterializedStream
 from .metrics import relative_error
 
@@ -109,17 +119,70 @@ def _drive_batched(
     feed_until(len(stream), cursor)
 
 
+def _drive_sharded(
+    estimator,
+    stream: MaterializedStream,
+    positions: Sequence[int],
+    truths: Sequence[int],
+    checkpoints: List[CheckpointResult],
+    batch_size: Optional[int],
+    workers: int,
+) -> None:
+    """Feed each inter-checkpoint segment through the sharded engine.
+
+    One worker pool serves every segment — pool startup is paid once per
+    run, not once per checkpoint.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    items = stream.item_array()
+    chunk = batch_size if batch_size is not None else DEFAULT_SHARD_BATCH
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        cursor = 0
+        for position, truth in zip(positions, truths):
+            if position > cursor:
+                parallel_ingest_into(
+                    estimator,
+                    items[cursor:position],
+                    shards=workers,
+                    batch_size=chunk,
+                    executor=pool,
+                )
+                cursor = position
+            if position > 0:
+                _checkpoint(checkpoints, estimator, position, truth)
+        if cursor < len(stream):
+            parallel_ingest_into(
+                estimator,
+                items[cursor:],
+                shards=workers,
+                batch_size=chunk,
+                executor=pool,
+            )
+
+
 def _run(
     estimator,
     stream: MaterializedStream,
     checkpoint_positions: Optional[Sequence[int]],
     turnstile: bool,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> RunResult:
     positions = list(checkpoint_positions) if checkpoint_positions else []
     truths = stream.ground_truth_at(positions) if positions else []
     checkpoints: List[CheckpointResult] = []
-    if batch_size is not None:
+    if workers is not None and workers > 1:
+        if turnstile:
+            raise ParameterError(
+                "workers > 1 requires mergeable sketches; turnstile (L0) "
+                "estimators do not expose merge — parallelise across trials "
+                "instead (see analysis.sweeps)"
+            )
+        _drive_sharded(
+            estimator, stream, positions, truths, checkpoints, batch_size, workers
+        )
+    elif batch_size is not None:
         if batch_size <= 0:
             raise ParameterError("batch_size must be positive")
         if not turnstile and not stream.is_insertion_only():
@@ -169,6 +232,7 @@ def run_f0(
     stream: MaterializedStream,
     checkpoint_positions: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> RunResult:
     """Run an insertion-only estimator over a stream.
 
@@ -180,11 +244,19 @@ def run_f0(
         batch_size: when set, drive the sketch via ``update_batch`` in
             chunks of this many items (identical results, higher
             throughput).
+        workers: when > 1, ingest each inter-checkpoint segment through
+            the sharded multi-process engine (requires a mergeable
+            estimator built with an explicit seed).
     """
     if not stream.is_insertion_only():
         raise ParameterError("run_f0 requires an insertion-only stream")
     return _run(
-        estimator, stream, checkpoint_positions, turnstile=False, batch_size=batch_size
+        estimator,
+        stream,
+        checkpoint_positions,
+        turnstile=False,
+        batch_size=batch_size,
+        workers=workers,
     )
 
 
@@ -207,10 +279,13 @@ def run_f0_by_name(
     seed: Optional[int] = None,
     checkpoint_positions: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> RunResult:
     """Instantiate a registered F0 algorithm and run it over ``stream``."""
     estimator = make_f0_estimator(name, stream.universe_size, eps, seed)
-    return run_f0(estimator, stream, checkpoint_positions, batch_size=batch_size)
+    return run_f0(
+        estimator, stream, checkpoint_positions, batch_size=batch_size, workers=workers
+    )
 
 
 def run_l0_by_name(

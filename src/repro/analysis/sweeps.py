@@ -5,12 +5,22 @@ configurations, aggregates the per-configuration relative errors, and
 produces the rows the benchmark tables print.  It is deliberately plain
 (nested loops, explicit dataclasses) so a reader can audit exactly what was
 measured.
+
+Sweeps parallelise at *trial* granularity: every ``(algorithm, eps,
+seed)`` cell is an independent run over the same replayed stream, so
+``workers=N`` fans the grid out over a process pool (the stream is
+shipped to each worker once, via a pool initializer) and collects the
+identical per-trial numbers in the identical order.  This is the right
+axis for sweeps — it parallelises F0 and L0 runs alike and needs no
+merge support — whereas :mod:`repro.analysis.runner` offers *intra*-run
+sharding for single long streams.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError
 from ..streams.model import MaterializedStream
@@ -54,6 +64,64 @@ class SweepPoint:
     mean_space_bits: float
 
 
+#: Per-process replay stream for pooled trials, set by the initializer so
+#: the (potentially large) stream is shipped once per worker, not per task.
+_TRIAL_STREAM: Optional[MaterializedStream] = None
+
+
+def _init_trial_worker(stream: MaterializedStream) -> None:
+    global _TRIAL_STREAM
+    _TRIAL_STREAM = stream
+
+
+def _f0_trial(args: Tuple[str, float, int, Optional[int]]) -> Tuple[float, int]:
+    algorithm, eps, seed, batch_size = args
+    result = run_f0_by_name(
+        algorithm, _TRIAL_STREAM, eps, seed=seed, batch_size=batch_size
+    )
+    return result.estimate, result.space_bits
+
+
+def _l0_trial(args: Tuple[str, float, int]) -> Tuple[float, int]:
+    algorithm, eps, seed = args
+    result = run_l0_by_name(algorithm, _TRIAL_STREAM, eps, seed=seed)
+    return result.estimate, result.space_bits
+
+
+def _pooled_trials(
+    trial,
+    grid: Sequence[Tuple],
+    stream: MaterializedStream,
+    workers: int,
+) -> List[Tuple[float, int]]:
+    """Run the trial grid over a worker pool, preserving grid order."""
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_trial_worker, initargs=(stream,)
+    ) as pool:
+        return list(pool.map(trial, grid))
+
+
+def _collect_points(
+    grid: Sequence[Tuple],
+    outcomes: Sequence[Tuple[float, int]],
+    per_cell: int,
+    truth: int,
+) -> List[SweepPoint]:
+    """Reassemble flat per-trial outcomes into per-(algorithm, eps) points.
+
+    ``grid`` is ordered eps-major, algorithm-minor, seed-innermost, so
+    consecutive blocks of ``per_cell`` outcomes belong to one cell.
+    """
+    points: List[SweepPoint] = []
+    for index in range(0, len(grid), per_cell):
+        algorithm, eps = grid[index][0], grid[index][1]
+        cell = outcomes[index : index + per_cell]
+        estimates = [estimate for estimate, _ in cell]
+        spaces = [space for _, space in cell]
+        points.append(_aggregate(algorithm, eps, truth, estimates, spaces))
+    return points
+
+
 def _aggregate(
     algorithm: str,
     eps: float,
@@ -79,6 +147,7 @@ def accuracy_sweep(
     seeds: Sequence[int],
     stream_seed: int = 12345,
     batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run an F0 accuracy sweep.
 
@@ -97,6 +166,9 @@ def accuracy_sweep(
             one documented deviation: the KNW Figure 3 FAIL test runs at
             chunk granularity (see
             :meth:`repro.core.knw.KNWFigure3Sketch.update_batch`).
+        workers: when > 1, distribute the ``(algorithm, eps, seed)``
+            trials over this many worker processes.  Every trial is
+            seeded, so the sweep output is identical to the serial one.
 
     Returns:
         One :class:`SweepPoint` per (algorithm, eps) pair.
@@ -105,19 +177,22 @@ def accuracy_sweep(
         raise ParameterError("accuracy_sweep needs algorithms, eps values, and seeds")
     stream = stream_factory(stream_seed)
     truth = stream.ground_truth()
-    points: List[SweepPoint] = []
-    for eps in eps_values:
-        for algorithm in algorithms:
-            estimates: List[float] = []
-            spaces: List[int] = []
-            for seed in seeds:
-                result = run_f0_by_name(
-                    algorithm, stream, eps, seed=seed, batch_size=batch_size
-                )
-                estimates.append(result.estimate)
-                spaces.append(result.space_bits)
-            points.append(_aggregate(algorithm, eps, truth, estimates, spaces))
-    return points
+    grid = [
+        (algorithm, eps, seed, batch_size)
+        for eps in eps_values
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    if workers is not None and workers > 1:
+        outcomes = _pooled_trials(_f0_trial, grid, stream, workers)
+    else:
+        outcomes = []
+        for algorithm, eps, seed, chunk in grid:
+            result = run_f0_by_name(
+                algorithm, stream, eps, seed=seed, batch_size=chunk
+            )
+            outcomes.append((result.estimate, result.space_bits))
+    return _collect_points(grid, outcomes, len(seeds), truth)
 
 
 def l0_accuracy_sweep(
@@ -126,23 +201,31 @@ def l0_accuracy_sweep(
     eps_values: Sequence[float],
     seeds: Sequence[int],
     stream_seed: int = 12345,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
-    """Run an L0 accuracy sweep (same contract as :func:`accuracy_sweep`)."""
+    """Run an L0 accuracy sweep (same contract as :func:`accuracy_sweep`).
+
+    Trial-level ``workers`` parallelism applies here too — it is the
+    *only* parallel axis for turnstile sketches, which do not merge.
+    """
     if not algorithms or not eps_values or not seeds:
         raise ParameterError("l0_accuracy_sweep needs algorithms, eps values, and seeds")
     stream = stream_factory(stream_seed)
     truth = stream.ground_truth()
-    points: List[SweepPoint] = []
-    for eps in eps_values:
-        for algorithm in algorithms:
-            estimates: List[float] = []
-            spaces: List[int] = []
-            for seed in seeds:
-                result = run_l0_by_name(algorithm, stream, eps, seed=seed)
-                estimates.append(result.estimate)
-                spaces.append(result.space_bits)
-            points.append(_aggregate(algorithm, eps, truth, estimates, spaces))
-    return points
+    grid = [
+        (algorithm, eps, seed)
+        for eps in eps_values
+        for algorithm in algorithms
+        for seed in seeds
+    ]
+    if workers is not None and workers > 1:
+        outcomes = _pooled_trials(_l0_trial, grid, stream, workers)
+    else:
+        outcomes = []
+        for algorithm, eps, seed in grid:
+            result = run_l0_by_name(algorithm, stream, eps, seed=seed)
+            outcomes.append((result.estimate, result.space_bits))
+    return _collect_points(grid, outcomes, len(seeds), truth)
 
 
 def space_sweep(

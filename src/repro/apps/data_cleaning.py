@@ -18,8 +18,9 @@ normalised similarity score.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError
 from ..l0.knw_l0 import KNWHammingNormEstimator
@@ -43,6 +44,42 @@ class ColumnPairReport:
     second: str
     hamming_estimate: float
     similarity: float
+
+
+#: Per-worker-process profiling context: the column store is shipped once
+#: per worker (via the pool initializer), so each pair task carries only
+#: two column names instead of two full value lists.
+_PAIR_CONTEXT: Optional[Tuple[int, float, int, int, Dict[str, List[int]]]] = None
+
+
+def _init_pair_worker(
+    universe_size: int,
+    eps: float,
+    seed: int,
+    magnitude_bound: int,
+    columns: Dict[str, List[int]],
+) -> None:
+    global _PAIR_CONTEXT
+    _PAIR_CONTEXT = (universe_size, eps, seed, magnitude_bound, columns)
+
+
+def _pair_hamming_worker(pair: Tuple[str, str]) -> float:
+    """Worker body: build one pair's difference sketch, return its L0.
+
+    Module-level so the process pool can import it by reference.  Each
+    pair is independent (its own one-pass difference sketch), which makes
+    the all-pairs profile embarrassingly parallel — the right axis for
+    turnstile sketches, which do not merge.
+    """
+    universe_size, eps, seed, magnitude_bound, columns = _PAIR_CONTEXT
+    plus = columns[pair[0]]
+    minus = columns[pair[1]]
+    sketch = KNWHammingNormEstimator(
+        universe_size, eps=eps, magnitude_bound=magnitude_bound, seed=seed
+    )
+    sketch.update_batch(plus, [1] * len(plus))
+    sketch.update_batch(minus, [-1] * len(minus))
+    return sketch.estimate()
 
 
 class SimilarColumnFinder:
@@ -111,17 +148,20 @@ class SimilarColumnFinder:
         sketch.update_batch(minus, [-1] * len(minus))
         return sketch
 
-    def pair_report(self, first: str, second: str) -> ColumnPairReport:
-        """Return the similarity report for one pair of registered columns."""
-        if first not in self._columns or second not in self._columns:
-            raise ParameterError("both columns must be registered before comparison")
-        sketch = self._difference_sketch(first, second)
-        hamming = sketch.estimate()
+    def _build_report(self, first: str, second: str, hamming: float) -> ColumnPairReport:
+        """Normalise a pair's Hamming estimate into its similarity report."""
         total = len(self._columns[first]) + len(self._columns[second])
         similarity = 1.0 - min(hamming / total, 1.0) if total else 1.0
         return ColumnPairReport(
             first=first, second=second, hamming_estimate=hamming, similarity=similarity
         )
+
+    def pair_report(self, first: str, second: str) -> ColumnPairReport:
+        """Return the similarity report for one pair of registered columns."""
+        if first not in self._columns or second not in self._columns:
+            raise ParameterError("both columns must be registered before comparison")
+        sketch = self._difference_sketch(first, second)
+        return self._build_report(first, second, sketch.estimate())
 
     def pair_report_streaming(
         self, first_values: Sequence[int], second_values: Sequence[int]
@@ -144,14 +184,56 @@ class SimilarColumnFinder:
             sketch.update(value, -1)
         return sketch.estimate()
 
-    def most_similar_pairs(self, top: int = 5) -> List[ColumnPairReport]:
-        """Return the ``top`` most similar registered column pairs."""
+    def all_pair_reports(
+        self, workers: Optional[int] = None
+    ) -> List[ColumnPairReport]:
+        """Return similarity reports for every registered column pair.
+
+        Args:
+            workers: when > 1, profile the pairs over this many worker
+                processes (one difference sketch per pair per worker);
+                results are identical to the serial loop — every sketch
+                is seeded — and arrive in the same deterministic pair
+                order.
+        """
+        names = list(self._columns)
+        pairs = [
+            (first, second)
+            for index, first in enumerate(names)
+            for second in names[index + 1 :]
+        ]
+        if workers is None or workers <= 1 or len(pairs) <= 1:
+            return [self.pair_report(first, second) for first, second in pairs]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_pair_worker,
+            initargs=(
+                self.universe_size,
+                self.eps,
+                self.seed,
+                self.magnitude_bound,
+                self._columns,
+            ),
+        ) as pool:
+            estimates = list(pool.map(_pair_hamming_worker, pairs))
+        return [
+            self._build_report(first, second, hamming)
+            for (first, second), hamming in zip(pairs, estimates)
+        ]
+
+    def most_similar_pairs(
+        self, top: int = 5, workers: Optional[int] = None
+    ) -> List[ColumnPairReport]:
+        """Return the ``top`` most similar registered column pairs.
+
+        Args:
+            top: number of pairs to return.
+            workers: forwarded to :meth:`all_pair_reports` — the
+                all-pairs profile is the quadratic hot spot of database
+                profiling, so it is the axis worth parallelising.
+        """
         if top <= 0:
             raise ParameterError("top must be positive")
-        names = list(self._columns)
-        reports: List[ColumnPairReport] = []
-        for index, first in enumerate(names):
-            for second in names[index + 1:]:
-                reports.append(self.pair_report(first, second))
+        reports = self.all_pair_reports(workers=workers)
         reports.sort(key=lambda report: report.similarity, reverse=True)
         return reports[:top]

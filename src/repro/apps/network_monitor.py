@@ -20,7 +20,9 @@ from typing import Dict, List, Optional, Sequence
 
 from ..baselines.linear_counting import LinearCounter
 from ..core.fast_knw import FastKNWDistinctCounter
+from ..core.knw import KNWDistinctCounter
 from ..exceptions import ParameterError
+from ..parallel import parallel_merge_shards
 from ..streams.datasets import FlowRecord
 from ..vectorize import HAS_NUMPY, np
 
@@ -66,6 +68,7 @@ class FlowCardinalityMonitor:
         window_packets: int = 10_000,
         scan_fanout_threshold: int = 256,
         seed: int = 1,
+        mergeable: bool = False,
     ) -> None:
         """Create the monitor.
 
@@ -76,6 +79,12 @@ class FlowCardinalityMonitor:
             scan_fanout_threshold: distinct-destination fan-out that flags a
                 source as a likely scanner within one window.
             seed: RNG seed for all sketches.
+            mergeable: build the per-window sketches as mergeable
+                :class:`~repro.core.knw.KNWDistinctCounter` instances
+                instead of the O(1)-time fast variant (which does not
+                merge).  Required for :meth:`ingest_window_shards`, the
+                per-link sharded deployment where several taps' traffic
+                is union-counted.
         """
         if window_packets <= 0:
             raise ParameterError("window_packets must be positive")
@@ -85,6 +94,7 @@ class FlowCardinalityMonitor:
         self.eps = eps
         self.window_packets = window_packets
         self.scan_fanout_threshold = scan_fanout_threshold
+        self.mergeable = mergeable
         self._seed = seed
         self._window_index = 0
         self._packets_in_window = 0
@@ -99,11 +109,25 @@ class FlowCardinalityMonitor:
         self._per_source_fanout: Dict[int, LinearCounter] = {}
 
     def _new_window_sketches(self) -> None:
-        self._flows = FastKNWDistinctCounter(self.universe_size, eps=self.eps, seed=self._seed)
-        self._sources = FastKNWDistinctCounter(self.universe_size, eps=self.eps, seed=self._seed + 1)
-        self._destinations = FastKNWDistinctCounter(
-            self.universe_size, eps=self.eps, seed=self._seed + 2
-        )
+        if self.mergeable:
+            # The polynomial rough-estimator family keeps the sketch fully
+            # seed-determined (shard_deterministic), so per-link sharded
+            # windows are bit-identical to observing the union serially.
+            def sketch(seed):
+                return KNWDistinctCounter(
+                    self.universe_size,
+                    eps=self.eps,
+                    seed=seed,
+                    rough_uniform_family=False,
+                )
+        else:
+            def sketch(seed):
+                return FastKNWDistinctCounter(
+                    self.universe_size, eps=self.eps, seed=seed
+                )
+        self._flows = sketch(self._seed)
+        self._sources = sketch(self._seed + 1)
+        self._destinations = sketch(self._seed + 2)
         self._per_source_fanout = {}
 
     def observe(self, record: FlowRecord) -> Optional[WindowReport]:
@@ -185,6 +209,87 @@ class FlowCardinalityMonitor:
         self._sources.update_batch(sources)
         self._destinations.update_batch(destinations)
         self._observe_fanout(records)
+
+    def ingest_window_shards(
+        self,
+        links: Sequence[Sequence[FlowRecord]],
+        workers: Optional[int] = None,
+    ) -> WindowReport:
+        """Ingest one reporting window observed as per-link traffic shards.
+
+        The distributed deployment of the paper's introduction: each
+        network link (tap) contributes the packets it saw during the
+        window, worker processes ingest each link's packets into
+        same-seed sketch clones through the vectorized batch pipeline,
+        and the union counts come from merge-reducing the link sketches
+        (:mod:`repro.parallel`).  The per-source fan-out detector runs on
+        the coordinator over all links, since a scanning source's fan-out
+        is only visible in the union.
+
+        The whole call is one window: it closes with a report regardless
+        of ``window_packets`` (links are unordered, so a mid-link window
+        boundary would be ill-defined).  Requires ``mergeable=True`` and
+        an empty current window.
+
+        Args:
+            links: one packet-record sequence per link.
+            workers: worker processes (defaults to the CPU count).
+
+        Returns:
+            The completed window's report.
+        """
+        if not self.mergeable:
+            raise ParameterError(
+                "per-link sharded ingestion needs mergeable sketches; "
+                "construct the monitor with mergeable=True"
+            )
+        if self._packets_in_window:
+            raise ParameterError(
+                "ingest_window_shards expects an empty current window; "
+                "flush() the partial window first"
+            )
+        universe = self.universe_size
+
+        def field_shards(extract) -> List["object"]:
+            if HAS_NUMPY:
+                return [
+                    np.fromiter(
+                        (extract(record) for record in link),
+                        dtype=np.uint64,
+                        count=len(link),
+                    )
+                    for link in links
+                ]
+            return [[extract(record) for record in link] for link in links]
+
+        fields = [
+            (self._flows, field_shards(lambda r: r.flow_id(universe))),
+            (self._sources, field_shards(lambda r: r.source % universe)),
+            (self._destinations, field_shards(lambda r: r.destination % universe)),
+        ]
+        populated_links = sum(1 for link in links if len(link) > 0)
+        if populated_links > 1 and (workers is None or workers > 1):
+            # One pool serves all three field sketches; per-window pool
+            # startup is paid once, not three times.
+            from concurrent.futures import ProcessPoolExecutor
+
+            from ..parallel import default_workers
+
+            with ProcessPoolExecutor(
+                max_workers=min(
+                    workers if workers is not None else default_workers(),
+                    populated_links,
+                )
+            ) as pool:
+                for sketch, shards in fields:
+                    parallel_merge_shards(sketch, shards, executor=pool)
+        else:
+            for sketch, shards in fields:
+                parallel_merge_shards(sketch, shards, workers=workers)
+        for link in links:
+            self._observe_fanout(link)
+        self._packets_in_window = sum(len(link) for link in links)
+        return self._roll_window()
 
     def _observe_fanout(self, records: Sequence[FlowRecord]) -> None:
         """Feed the per-source fan-out bitmaps, grouped by source."""

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence
 
 from ..core.knw import KNWDistinctCounter
 from ..exceptions import ParameterError
+from ..parallel import parallel_merge_shards
 from ..vectorize import HAS_NUMPY
 
 __all__ = ["ColumnStatisticsCollector", "JoinEstimate"]
@@ -79,10 +80,20 @@ class ColumnStatisticsCollector:
         self.eps = eps
         self._seed = seed
         self._row_counts: Dict[str, int] = {name: 0 for name in columns}
+        # The polynomial rough-estimator family keeps the sketches fully
+        # seed-determined, so per-partition sharded ingest and union-NDV
+        # merging are bit-identical to serial single-sketch ingestion.
         self._sketches: Dict[str, KNWDistinctCounter] = {
-            name: KNWDistinctCounter(universe_size, eps=eps, seed=seed)
-            for name in columns
+            name: self._new_sketch() for name in columns
         }
+
+    def _new_sketch(self) -> KNWDistinctCounter:
+        return KNWDistinctCounter(
+            self.universe_size,
+            eps=self.eps,
+            seed=self._seed,
+            rough_uniform_family=False,
+        )
 
     @property
     def columns(self) -> Sequence[str]:
@@ -127,6 +138,35 @@ class ColumnStatisticsCollector:
                 sketch.update(value)
         self._row_counts[column] += len(non_null)
 
+    def ingest_column_partitions(
+        self,
+        column: str,
+        partitions: Sequence[Sequence[Optional[int]]],
+        workers: Optional[int] = None,
+    ) -> None:
+        """Bulk-ingest one column stored as several partitions, in parallel.
+
+        The statistics-refresh shape of a partitioned table: each
+        partition's values are ingested by a worker process into a clone
+        of the column's (mergeable, same-seed) sketch and the results
+        merge-reduce back — see :mod:`repro.parallel`.  Equivalent to
+        calling :meth:`ingest_column` on the concatenation; ``None``
+        values (SQL NULLs) are skipped per partition.
+
+        Args:
+            column: the column name.
+            partitions: one value sequence per table partition.
+            workers: worker processes (defaults to the CPU count).
+        """
+        if column not in self._sketches:
+            raise ParameterError("unknown column %r" % column)
+        shards = [
+            [value for value in partition if value is not None]
+            for partition in partitions
+        ]
+        parallel_merge_shards(self._sketches[column], shards, workers=workers)
+        self._row_counts[column] += sum(len(shard) for shard in shards)
+
     def ndv(self, column: str) -> float:
         """Return the estimated number of distinct values of ``column``."""
         if column not in self._sketches:
@@ -146,7 +186,7 @@ class ColumnStatisticsCollector:
         """
         if first not in self._sketches or second not in self._sketches:
             raise ParameterError("unknown column in union_ndv")
-        merged = KNWDistinctCounter(self.universe_size, eps=self.eps, seed=self._seed)
+        merged = self._new_sketch()
         merged.merge(self._sketches[first])
         merged.merge(self._sketches[second])
         return merged.estimate()

@@ -197,6 +197,28 @@ class MultiScaleBitmapCounter(CardinalityEstimator):
                 return float(1 << (scale + 1)) * linear
         return float(self.bits_per_scale) * (1 << self.scales)
 
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """OR the per-scale bitmaps of two same-seed counters.
+
+        Every scale's state is an OR of item bits, so the scale-wise
+        union is the state a single counter would hold after both
+        streams — the same argument as :meth:`LinearCounter.merge`.
+        """
+        if not isinstance(other, MultiScaleBitmapCounter):
+            raise MergeError("can only merge MultiScaleBitmapCounter with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.bits_per_scale != self.bits_per_scale
+            or other.scales != self.scales
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError(
+                "multiscale bitmaps must share parameters and an explicit seed"
+            )
+        for mine, theirs in zip(self._bitmaps, other._bitmaps):
+            mine.union_update(theirs)
+
     def space_breakdown(self) -> SpaceBreakdown:
         """Return the itemised space cost."""
         breakdown = SpaceBreakdown(self.name)

@@ -160,6 +160,10 @@ class KNWFigure3Sketch(CardinalityEstimator):
             seed=rough_seed,
             use_uniform_family=rough_uniform_family,
         )
+        # The Lemma 5 uniform family draws hash values lazily in
+        # first-occurrence order, so sharded ingestion sees different
+        # draws than sequential ingestion (see the base-class attribute).
+        self.shard_deterministic = self.rough.shard_deterministic
         self._counters: List[int] = [-1] * self.bins
         self._bit_budget = sum(_counter_bits(c) for c in self._counters)  # the paper's A
         self._base_level = 0  # the paper's b
@@ -337,10 +341,22 @@ class KNWFigure3Sketch(CardinalityEstimator):
         self._bit_budget = sum(_counter_bits(value) for value in self._counters)
         self._est_exponent = max(self._est_exponent, other._est_exponent)
         self._failed = self._failed or other._failed
-        if self._bit_budget > self.FAIL_FACTOR * self.bins:
-            self._failed = True
         if self._owns_rough and other._owns_rough:
             self.rough.merge_max(other.rough)
+            # Settle against the merged rough estimate, exactly as the
+            # update path would: the combined occupancy can cross a power
+            # of two that no individual shard crossed, and a single sketch
+            # over the concatenated stream would have rebased there.  The
+            # RoughEstimator state is a pure per-counter maximum, so (with
+            # order-insensitive hash families) the merged rough estimate —
+            # and therefore the settled ``est``/``b`` — equals the
+            # single-stream one, making shard-and-merge bit-identical to
+            # sequential ingestion.
+            rough_estimate = self.rough.estimate()
+            if rough_estimate > float(1 << self._est_exponent):
+                self._rebase(rough_estimate)
+        if self._bit_budget > self.FAIL_FACTOR * self.bins:
+            self._failed = True
 
     def _shift_to_base(self, new_base: int) -> None:
         if new_base == self._base_level:
@@ -470,6 +486,7 @@ class KNWDistinctCounter(CardinalityEstimator):
             )
         self.hashes = F0HashBundle(universe_size, self.bins, eps_hint=eps, seed=hash_seed)
         self.small = SmallF0Estimator(self.hashes)
+        self.shard_deterministic = not rough_uniform_family
         self.core = KNWFigure3Sketch(
             universe_size,
             eps=eps,
@@ -535,13 +552,7 @@ class KNWDistinctCounter(CardinalityEstimator):
                 "KNW counters can only be merged when built with identical "
                 "parameters and an identical, explicit seed"
             )
-        self.small._exact |= other.small._exact
-        if len(self.small._exact) > self.small.exact_limit:
-            self.small._exact_overflowed = True
-        self.small._exact_overflowed = (
-            self.small._exact_overflowed or other.small._exact_overflowed
-        )
-        self.small._bits.union_update(other.small._bits)
+        self.small.merge(other.small)
         self.core.merge(other.core)
 
     def space_breakdown(self) -> SpaceBreakdown:

@@ -32,6 +32,7 @@ from typing import List, Optional
 
 from ..bitstructs.packed import PackedCounterArray
 from ..bitstructs.space import SpaceBreakdown
+from ..estimators.base import SerializableState
 from ..exceptions import ParameterError
 from ..hashing.bitops import lsb, lsb_batch
 from ..hashing.kwise import KWiseHash
@@ -132,7 +133,7 @@ class _RoughCopy:
         return breakdown
 
 
-class RoughEstimator:
+class RoughEstimator(SerializableState):
     """The Figure 2 subroutine: an 8-approximation to F0 valid at all times.
 
     The estimate is monotonically non-decreasing in the stream position,
@@ -182,6 +183,10 @@ class RoughEstimator:
         ]
         self._threshold = OCCUPANCY_THRESHOLD_RHO * self.counters_per_copy
         self._monotone_floor = -1.0
+        # The uniform (Lemma 5) family materialises hash values lazily in
+        # first-occurrence order, so sharded and sequential ingestion draw
+        # different functions; the polynomial family is seed-determined.
+        self.shard_deterministic = not use_uniform_family
 
     def update(self, item: int) -> None:
         """Process one stream item."""

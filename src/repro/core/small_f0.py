@@ -77,7 +77,7 @@ class SmallF0Estimator:
             if item in self._exact or len(self._exact) < self.exact_limit:
                 self._exact.add(item)
             else:
-                self._exact_overflowed = True
+                self._mark_overflowed()
         self._bits.set(self.hashes.extended_bin(item), 1)
 
     def update_batch(self, items, extended_bins=None) -> None:
@@ -112,10 +112,40 @@ class SmallF0Estimator:
             capacity = self.exact_limit - len(self._exact)
             self._exact.update(ordered_new[:capacity])
             if len(ordered_new) > capacity:
-                self._exact_overflowed = True
+                self._mark_overflowed()
         if extended_bins is None:
             extended_bins = self.hashes.extended_bin_batch(keys)
         self._bits.set_many(np.unique(extended_bins).tolist())
+
+    def _mark_overflowed(self) -> None:
+        """Switch permanently to the bitvector regime.
+
+        The buffer is dropped as soon as it overflows: nothing reads it
+        afterwards (``estimate``/``is_large`` branch on the flag), and the
+        empty buffer is the canonical overflowed state — which is what
+        makes sharded ingestion bit-identical to sequential (the shards'
+        buffers fill with *different* identifiers, but every overflowed
+        path converges to the same emptied state).
+        """
+        self._exact_overflowed = True
+        self._exact.clear()
+
+    def merge(self, other: "SmallF0Estimator") -> None:
+        """Merge a same-bundle subroutine (union of the two streams).
+
+        The exact buffers union (overflowing — and emptying — when the
+        union exceeds the capacity, exactly as a single subroutine fed
+        both streams would have), and the bitvectors OR.
+        """
+        if other.bins != self.bins or other.exact_limit != self.exact_limit:
+            raise ParameterError("cannot merge small-F0 subroutines with different shapes")
+        if self._exact_overflowed or other._exact_overflowed:
+            self._mark_overflowed()
+        else:
+            self._exact |= other._exact
+            if len(self._exact) > self.exact_limit:
+                self._mark_overflowed()
+        self._bits.union_update(other._bits)
 
     def bitvector_estimate(self) -> float:
         """Return the ``K'``-bit balls-and-bins estimate ``F~_B``."""

@@ -29,12 +29,18 @@ Ingestion comes in two granularities:
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
-from ..exceptions import MergeError, UpdateError
+from .. import serialize
+from ..exceptions import MergeError, SerializationError, UpdateError
 from ..streams.model import MaterializedStream, Update
 
-__all__ = ["CardinalityEstimator", "TurnstileEstimator", "describe_estimator"]
+__all__ = [
+    "SerializableState",
+    "CardinalityEstimator",
+    "TurnstileEstimator",
+    "describe_estimator",
+]
 
 #: The types accepted by ``update_batch``: any integer sequence, including
 #: a NumPy integer ndarray (the zero-copy fast path for vectorized
@@ -42,7 +48,55 @@ __all__ = ["CardinalityEstimator", "TurnstileEstimator", "describe_estimator"]
 ItemBatch = Union[Sequence[int], "object"]
 
 
-class CardinalityEstimator(abc.ABC):
+class SerializableState:
+    """Serialization surface shared by every sketch in the library.
+
+    Four methods, with torch-like semantics:
+
+    * :meth:`state_dict` / :meth:`load_state_dict` — capture and restore
+      the complete sketch state as a plain-value tree.  ``load`` expects
+      an instance of the *same class* (construct it with any valid
+      parameters, then load); all fields — including nested hash
+      families, packed bit buffers, and shared RNGs with their exact
+      aliasing structure — are replaced by the captured ones, so the
+      restored sketch is bit-identical: equal ``state_dict()``, equal
+      estimates, and equal behaviour under further ingestion.
+    * :meth:`to_bytes` / :meth:`from_bytes` — the framed wire form of the
+      same snapshot (see :mod:`repro.serialize` for the format), used by
+      the sharded ingestion engine (:mod:`repro.parallel`) to transport
+      worker sketches to the merge coordinator.
+    """
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Return a plain-value snapshot of the complete sketch state."""
+        return serialize.snapshot(self)
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this instance (in place)."""
+        serialize.restore(self, state)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the sketch to framed bytes (see :mod:`repro.serialize`)."""
+        return serialize.dumps(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SerializableState":
+        """Revive a sketch serialized with :meth:`to_bytes`.
+
+        The payload's recorded class must be ``cls`` or a subclass; call
+        this on the class you expect (or on a base class to accept any
+        estimator of that family).
+        """
+        revived = serialize.loads(data)
+        if not isinstance(revived, cls):
+            raise SerializationError(
+                "payload contains a %s, not a %s"
+                % (type(revived).__name__, cls.__name__)
+            )
+        return revived
+
+
+class CardinalityEstimator(SerializableState, abc.ABC):
     """Base class for insertion-only distinct-elements (F0) estimators."""
 
     #: Human-readable algorithm name, overridden by subclasses.
@@ -52,6 +106,17 @@ class CardinalityEstimator(abc.ABC):
     #: (a truly random hash function).  Mirrors the "Notes" column of the
     #: paper's Figure 1 and is surfaced in the comparison tables.
     requires_random_oracle: bool = False
+
+    #: Whether same-seed sketches fed disjoint shards and merged are
+    #: *bit-identical* to one sketch fed the concatenation.  True for
+    #: every estimator whose hash functions are fully determined by the
+    #: seed; set to False by configurations whose lazily materialised
+    #: hash families draw values in first-occurrence order (the draw
+    #: order then differs between sharded and sequential ingestion, so
+    #: merged estimates are merely approximation-equivalent).  The
+    #: sharded execution engine (:mod:`repro.parallel`) surfaces this
+    #: flag when callers ask which estimators shard exactly.
+    shard_deterministic: bool = True
 
     @abc.abstractmethod
     def update(self, item: int) -> None:
@@ -164,7 +229,7 @@ class CardinalityEstimator(abc.ABC):
         return self.estimate()
 
 
-class TurnstileEstimator(abc.ABC):
+class TurnstileEstimator(SerializableState, abc.ABC):
     """Base class for turnstile L0 (Hamming norm) estimators."""
 
     #: Human-readable algorithm name, overridden by subclasses.
@@ -211,8 +276,25 @@ class TurnstileEstimator(abc.ABC):
         """Apply one :class:`repro.streams.model.Update`."""
         self.update(update.item, update.delta)
 
-    def process_stream(self, stream: MaterializedStream) -> float:
-        """Feed an entire turnstile stream and return the final estimate."""
+    def process_stream(
+        self,
+        stream: MaterializedStream,
+        batch_size: Optional[int] = None,
+    ) -> float:
+        """Feed an entire turnstile stream and return the final estimate.
+
+        Args:
+            stream: the turnstile stream to ingest.
+            batch_size: when given, ingest via :meth:`update_batch` in
+                chunks of this many updates (mirroring
+                :meth:`CardinalityEstimator.process_stream`, so turnstile
+                callers can be written against the batch API uniformly);
+                when ``None``, use the per-update loop.
+        """
+        if batch_size is not None:
+            for items, deltas in stream.iter_update_batches(batch_size):
+                self.update_batch(items, deltas)
+            return self.estimate()
         for update in stream:
             self.update(update.item, update.delta)
         return self.estimate()

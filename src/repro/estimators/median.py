@@ -16,8 +16,8 @@ import math
 import statistics
 from typing import Callable, List, Sequence
 
-from ..exceptions import ParameterError, SketchFailure
-from .base import CardinalityEstimator, TurnstileEstimator
+from ..exceptions import MergeError, ParameterError, SketchFailure
+from .base import CardinalityEstimator, ItemBatch, TurnstileEstimator
 
 __all__ = [
     "MedianEstimator",
@@ -91,11 +91,48 @@ class MedianEstimator(CardinalityEstimator):
         self.requires_random_oracle = any(
             copy.requires_random_oracle for copy in self._copies
         )
+        self.shard_deterministic = all(
+            getattr(copy, "shard_deterministic", True) for copy in self._copies
+        )
 
     def update(self, item: int) -> None:
         """Feed the item to every copy."""
         for copy in self._copies:
             copy.update(item)
+
+    def update_batch(self, items: ItemBatch) -> None:
+        """Forward the whole batch to every copy.
+
+        Without this override the wrapper would fall back to the base
+        per-item loop and silently discard the copies' vectorized
+        ``update_batch`` fast paths; forwarding preserves both the
+        throughput and the batch/scalar equivalence contract (each copy
+        guarantees it individually).
+        """
+        for copy in self._copies:
+            copy.update_batch(items)
+
+    def merge(self, other: "CardinalityEstimator") -> None:
+        """Merge another median wrapper by merging the copies pairwise.
+
+        Amplification commutes with stream union: copy ``i`` of both
+        wrappers was built by the same factory with the same repetition
+        index (hence the same seed derivation), so merging copy ``i``
+        into copy ``i`` yields exactly the wrapper a single node would
+        have produced over the concatenated stream.  Requires equal
+        repetition counts; each pairwise merge further validates that the
+        copies themselves are merge-compatible (same type, parameters,
+        and explicit seed), so mismatched factories still fail loudly.
+        """
+        if not isinstance(other, MedianEstimator):
+            raise MergeError("can only merge MedianEstimator with its own kind")
+        if other.repetitions != self.repetitions:
+            raise MergeError(
+                "cannot merge median wrappers with %d vs %d repetitions"
+                % (self.repetitions, other.repetitions)
+            )
+        for mine, theirs in zip(self._copies, other._copies):
+            mine.merge(theirs)
 
     def estimate(self) -> float:
         """Return the median of the copies' estimates.
@@ -148,6 +185,18 @@ class MedianTurnstileEstimator(TurnstileEstimator):
         """Feed the update to every copy."""
         for copy in self._copies:
             copy.update(item, delta)
+
+    def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
+        """Forward the whole batch of signed updates to every copy.
+
+        Same rationale as :meth:`MedianEstimator.update_batch`: without
+        the override the wrapper would take the base scalar loop and lose
+        the copies' batch paths.  Each copy re-validates the chunk; the
+        first copy does so before mutating anything, so a malformed batch
+        still leaves the wrapper untouched.
+        """
+        for copy in self._copies:
+            copy.update_batch(items, deltas)
 
     def estimate(self) -> float:
         """Return the median of the copies' estimates (skipping failed copies)."""

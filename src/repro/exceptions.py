@@ -53,3 +53,14 @@ class MergeError(ReproError, ValueError):
 
 class StreamFormatError(ReproError, ValueError):
     """A serialized stream or dataset description could not be parsed."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A sketch could not be serialized or deserialized.
+
+    Raised when a sketch holds state outside the supported type set (a
+    bug in the sketch, not the caller), when a byte payload fails the
+    framing checks (bad magic, unsupported version, truncation), or when
+    ``from_bytes`` is asked to revive a payload whose recorded class does
+    not match the requested one.
+    """

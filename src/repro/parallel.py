@@ -1,0 +1,343 @@
+"""Sharded multi-process ingestion: partition, worker ingest, merge-reduce.
+
+This is the distributed-deployment shape the paper's introduction
+motivates (union of streams observed at many points) realised on one
+machine: a materialized stream is partitioned into contiguous shards,
+each shard is ingested by a worker *process* through the vectorized
+``update_batch`` pipeline into a same-seed sketch, the worker ships its
+sketch back as serialized state (:mod:`repro.serialize` — no pickle of
+live objects), and the coordinator revives and merge-reduces the shard
+sketches into one.
+
+Correctness contract.  For every estimator that supports :meth:`merge
+<repro.estimators.base.CardinalityEstimator.merge>`, shard-and-merge is
+*estimate-equivalent* to sequential ingestion; for estimators whose hash
+functions are fully seed-determined (``shard_deterministic`` on the
+estimator — everything except the lazily materialised Lemma 5 uniform
+family configurations) it is **bit-identical**: the merged sketch's
+state and estimate equal those of a single sketch fed the concatenated
+stream, for any shard count.  The per-counter reductions are maxima,
+ORs, and set unions — commutative, associative, and idempotent — which
+also makes the engine safe to use *mid-stream*: the template sketch's
+existing state is cloned into every worker and re-merging it is a
+no-op.
+
+Execution modes:
+
+* ``"processes"`` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  with ``workers`` processes; the wall-clock win on multi-core hosts
+  (see ``benchmarks/bench_parallel_ingest.py``).
+* ``"inline"`` — the identical shard / serialize / revive / merge
+  dataflow run in-process.  Results are byte-for-byte the same; used for
+  ``workers=1``, for tests, and on single-core machines where process
+  fan-out cannot pay for itself.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from . import serialize
+from .estimators.base import CardinalityEstimator
+from .estimators.registry import f0_algorithm_names, make_f0_estimator
+from .exceptions import ParameterError
+from .streams.model import MaterializedStream
+from .vectorize import HAS_NUMPY, np
+
+__all__ = [
+    "DEFAULT_SHARD_BATCH",
+    "shard_items",
+    "parallel_merge_shards",
+    "parallel_ingest_into",
+    "parallel_ingest_f0",
+    "mergeable_f0_names",
+    "default_workers",
+]
+
+#: Chunk length used when workers drive shards through ``update_batch``.
+DEFAULT_SHARD_BATCH = 65536
+
+ItemSource = Union[MaterializedStream, Sequence[int], "np.ndarray"]
+
+
+def default_workers() -> int:
+    """Return the default worker count: the machine's CPU count."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def _as_items(source: ItemSource):
+    """Return the item identifiers of ``source`` as an array (or sequence)."""
+    if isinstance(source, MaterializedStream):
+        if not source.is_insertion_only():
+            raise ParameterError(
+                "sharded ingestion is defined for insertion-only streams "
+                "(turnstile sketches do not expose merge)"
+            )
+        return source.item_array()
+    if HAS_NUMPY and not isinstance(source, np.ndarray):
+        return np.asarray(source)
+    return source
+
+
+def shard_items(items: ItemSource, shards: int) -> List[Any]:
+    """Partition a stream's items into ``shards`` contiguous slices.
+
+    Contiguity matters only for human inspection — every merge-reduced
+    reduction in the library is order-insensitive — but contiguous
+    slices of the cached item array are NumPy views, so sharding never
+    copies the stream.  Trailing shards may be one item shorter; with
+    fewer items than shards, the surplus shards are empty.
+
+    Args:
+        items: a materialized insertion-only stream, or the identifiers
+            themselves (sequence or ndarray).
+        shards: positive shard count.
+    """
+    if shards <= 0:
+        raise ParameterError("shard count must be positive")
+    data = _as_items(items)
+    total = len(data)
+    base, surplus = divmod(total, shards)
+    slices: List[Any] = []
+    start = 0
+    for index in range(shards):
+        length = base + (1 if index < surplus else 0)
+        slices.append(data[start : start + length])
+        start += length
+    return slices
+
+
+def _supports_merge(estimator: CardinalityEstimator) -> bool:
+    return type(estimator).merge is not CardinalityEstimator.merge
+
+
+def _require_explicit_seed(estimator: CardinalityEstimator) -> None:
+    """Refuse seedless sketches up front, before any shard work is spent.
+
+    Plain sketches carry a ``seed`` attribute; amplification wrappers
+    carry none but expose their ``copies``, whose seeds determine merge
+    compatibility — check whichever is present.
+    """
+    seedless = getattr(estimator, "seed", 0) is None or any(
+        getattr(copy, "seed", 0) is None
+        for copy in getattr(estimator, "copies", ())
+    )
+    if seedless:
+        raise ParameterError(
+            "sharded ingestion needs an explicit seed so the shard sketches "
+            "share hash functions; construct the estimator with seed=..."
+        )
+
+
+def _feed(estimator: CardinalityEstimator, shard, batch_size: Optional[int]) -> None:
+    if batch_size is None:
+        values = shard.tolist() if hasattr(shard, "tolist") else shard
+        for item in values:
+            estimator.update(int(item))
+        return
+    if batch_size <= 0:
+        raise ParameterError("batch_size must be positive")
+    for start in range(0, len(shard), batch_size):
+        estimator.update_batch(shard[start : start + batch_size])
+
+
+def _ingest_shard_worker(payload: Tuple[bytes, Any, Optional[int]]) -> bytes:
+    """Worker body: revive the template, ingest one shard, ship the state.
+
+    Module-level so the process pool can import it by reference; the
+    payload and the result are plain picklable values (bytes + array).
+    """
+    template, shard, batch_size = payload
+    estimator = serialize.loads(template)
+    _feed(estimator, shard, batch_size)
+    return estimator.to_bytes()
+
+
+def parallel_merge_shards(
+    estimator: CardinalityEstimator,
+    shards: Sequence[Any],
+    workers: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    execution: Optional[str] = None,
+    executor: Optional[Executor] = None,
+) -> CardinalityEstimator:
+    """Ingest caller-partitioned shards into ``estimator`` via merge-reduce.
+
+    Each shard (an integer array — e.g. one network link's traffic, one
+    table partition's column values) is ingested by a worker into a
+    clone of ``estimator``'s current state; the resulting sketches are
+    revived and merged back into ``estimator`` in shard order.
+
+    Args:
+        estimator: the target sketch.  Must support merging (and so must
+            have been built with an explicit seed) unless there are zero
+            or one non-empty shards, in which case the engine feeds it
+            directly.
+        shards: the partition, as produced by :func:`shard_items` or by
+            the caller's own sharding (per-link, per-partition, ...).
+        workers: process count for the ``"processes"`` mode; defaults to
+            the CPU count, capped at the number of non-empty shards.
+        batch_size: chunk length for the workers' ``update_batch``
+            driving; ``None`` forces the scalar per-item loop (the
+            shard/merge result is identical either way, by the batch
+            equivalence contract).
+        execution: ``"processes"``, ``"inline"``, or ``None`` to pick
+            ``"processes"`` exactly when more than one worker can do
+            useful work.
+        executor: an existing :class:`concurrent.futures.Executor` to
+            submit shard work to instead of spawning a pool per call —
+            callers issuing many sharded ingests (per-checkpoint
+            segments, per-window fields) amortise pool startup this way.
+            The caller keeps ownership (it is not shut down here) and
+            ``workers``/``execution`` are ignored when it is given.
+
+    Returns:
+        ``estimator`` (mutated in place), for chaining.
+    """
+    work = [shard for shard in shards if len(shard) > 0]
+    if not work:
+        return estimator
+    if len(work) == 1:
+        _feed(estimator, work[0], batch_size)
+        return estimator
+    if not _supports_merge(estimator):
+        raise ParameterError(
+            "%s does not support merge; sharded ingestion needs a mergeable sketch"
+            % type(estimator).__name__
+        )
+    _require_explicit_seed(estimator)
+
+    template = estimator.to_bytes()
+    payloads = [(template, shard, batch_size) for shard in work]
+    if executor is not None:
+        blobs = list(executor.map(_ingest_shard_worker, payloads))
+    else:
+        if workers is None:
+            workers = default_workers()
+        if workers <= 0:
+            raise ParameterError("workers must be positive")
+        workers = min(workers, len(work))
+        if execution is None:
+            execution = "processes" if workers > 1 else "inline"
+        if execution not in ("processes", "inline"):
+            raise ParameterError("execution must be 'processes' or 'inline'")
+        if execution == "processes":
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                blobs = list(pool.map(_ingest_shard_worker, payloads))
+        else:
+            blobs = [_ingest_shard_worker(payload) for payload in payloads]
+    for blob in blobs:
+        estimator.merge(serialize.loads(blob))
+    return estimator
+
+
+def parallel_ingest_into(
+    estimator: CardinalityEstimator,
+    items: ItemSource,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    execution: Optional[str] = None,
+    executor: Optional[Executor] = None,
+) -> CardinalityEstimator:
+    """Shard ``items`` and ingest them into ``estimator`` (see above).
+
+    Equivalent to ``parallel_merge_shards(estimator, shard_items(items,
+    shards or workers), ...)``; the one-shard case degenerates to a
+    plain batched feed, so ``workers=1`` has no multiprocessing
+    overhead and is byte-identical to calling ``update_batch`` yourself.
+    """
+    if workers is None and shards is None:
+        workers = default_workers()
+    count = shards if shards is not None else workers
+    return parallel_merge_shards(
+        estimator,
+        shard_items(items, count),
+        workers=workers,
+        batch_size=batch_size,
+        execution=execution,
+        executor=executor,
+    )
+
+
+def parallel_ingest_f0(
+    algorithm: str,
+    stream: ItemSource,
+    eps: float,
+    seed: int,
+    universe_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    execution: Optional[str] = None,
+) -> CardinalityEstimator:
+    """Build a registered F0 estimator and ingest a stream sharded.
+
+    Args:
+        algorithm: registry name (see :func:`repro.estimators.registry
+            .f0_algorithm_names`).
+        stream: a materialized insertion-only stream, or raw identifiers
+            (then ``universe_size`` is required).
+        eps: target relative error.
+        seed: estimator seed; must be explicit — the shard sketches
+            derive identical hash functions from it.
+        universe_size: universe bound when ``stream`` is a raw sequence.
+        workers / shards / batch_size / execution: as in
+            :func:`parallel_ingest_into`.
+
+    Returns:
+        The merged estimator (call ``estimate()`` on it).
+    """
+    if seed is None:
+        raise ParameterError("parallel_ingest_f0 requires an explicit seed")
+    if isinstance(stream, MaterializedStream):
+        universe_size = stream.universe_size
+    elif universe_size is None:
+        raise ParameterError("universe_size is required for raw item sequences")
+    estimator = make_f0_estimator(algorithm, universe_size, eps, seed)
+    return parallel_ingest_into(
+        estimator,
+        stream,
+        workers=workers,
+        shards=shards,
+        batch_size=batch_size,
+        execution=execution,
+    )
+
+
+_MERGEABLE_CACHE: Optional[Dict[str, bool]] = None
+_DETERMINISTIC_CACHE: Dict[str, bool] = {}
+
+
+def mergeable_f0_names(shard_deterministic_only: bool = False) -> List[str]:
+    """Return the registered F0 algorithms usable with sharded ingestion.
+
+    Args:
+        shard_deterministic_only: when True, keep only the algorithms
+            whose sharded ingest is *bit-identical* to sequential ingest
+            (see ``CardinalityEstimator.shard_deterministic``); the
+            remainder (currently the default ``knw`` configuration,
+            whose Lemma 5 rough-estimator family draws lazily) are
+            merge-*compatible* but only approximation-equivalent.
+    """
+    global _MERGEABLE_CACHE
+    if _MERGEABLE_CACHE is None:
+        probes = {
+            name: make_f0_estimator(name, 1 << 12, 0.25, seed=0)
+            for name in f0_algorithm_names()
+        }
+        _MERGEABLE_CACHE = {
+            name: _supports_merge(probe) for name, probe in probes.items()
+        }
+        _DETERMINISTIC_CACHE.update(
+            {
+                name: bool(getattr(probe, "shard_deterministic", True))
+                for name, probe in probes.items()
+            }
+        )
+    names = [name for name, able in sorted(_MERGEABLE_CACHE.items()) if able]
+    if shard_deterministic_only:
+        names = [name for name in names if _DETERMINISTIC_CACHE[name]]
+    return names

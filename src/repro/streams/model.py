@@ -186,6 +186,27 @@ class MaterializedStream:
         for start in range(0, len(self._updates), batch_size):
             yield items[start : start + batch_size]
 
+    def iter_update_batches(
+        self, batch_size: int
+    ) -> Iterator[Tuple["object", "object"]]:
+        """Yield ``(items, deltas)`` chunks of ``batch_size`` updates.
+
+        The turnstile counterpart of :meth:`iter_item_batches`: each pair
+        is a view over :meth:`item_array` / :meth:`delta_array` (no
+        copying), sized for :meth:`TurnstileEstimator.update_batch
+        <repro.estimators.base.TurnstileEstimator.update_batch>`.  The
+        final pair may be shorter.
+
+        Args:
+            batch_size: positive chunk length.
+        """
+        if batch_size <= 0:
+            raise ParameterError("batch_size must be positive")
+        items = self.item_array()
+        deltas = self.delta_array()
+        for start in range(0, len(self._updates), batch_size):
+            yield items[start : start + batch_size], deltas[start : start + batch_size]
+
     def is_insertion_only(self) -> bool:
         """Return True when every update has ``delta == +1``."""
         return all(update.delta == 1 for update in self._updates)

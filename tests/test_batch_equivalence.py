@@ -24,7 +24,8 @@ from repro.baselines.linear_counting import LinearCounter
 from repro.baselines.loglog import LogLogCounter
 from repro.core.knw import KNWDistinctCounter, KNWFigure3Sketch
 from repro.core.rough_estimator import FastRoughEstimator, RoughEstimator
-from repro.exceptions import ParameterError
+from repro.estimators.median import MedianEstimator, MedianTurnstileEstimator
+from repro.exceptions import ParameterError, UpdateError
 from repro.streams.generators import (
     distinct_items_stream,
     uniform_random_stream,
@@ -104,6 +105,28 @@ def _knw_state(est):
     )
 
 
+def _median_hll_state(est):
+    return [_hll_state(copy) for copy in est.copies]
+
+
+def _median_knw_state(est):
+    return [_knw_state(copy) for copy in est.copies]
+
+
+def _median_hll(seed):
+    return MedianEstimator(
+        lambda index: HyperLogLogCounter(UNIVERSE, eps=0.05, seed=seed + index),
+        repetitions=3,
+    )
+
+
+def _median_knw(seed):
+    return MedianEstimator(
+        lambda index: KNWDistinctCounter(UNIVERSE, eps=0.1, seed=seed + index),
+        repetitions=3,
+    )
+
+
 ESTIMATORS = [
     ("hyperloglog", lambda seed: HyperLogLogCounter(UNIVERSE, eps=0.05, seed=seed), _hll_state),
     ("loglog", lambda seed: LogLogCounter(UNIVERSE, eps=0.05, seed=seed), _hll_state),
@@ -127,6 +150,12 @@ ESTIMATORS = [
         ),
         _knw_state,
     ),
+    # The amplification wrappers must forward batches to every copy (a
+    # wrapper falling back to the base per-item loop would still be
+    # *correct*, so only a state comparison across batch sizes — via the
+    # copies' states — pins the forwarding down).
+    ("median-hll", _median_hll, _median_hll_state),
+    ("median-knw", _median_knw, _median_knw_state),
 ]
 
 
@@ -299,3 +328,101 @@ def test_process_stream_batched_equals_scalar():
     batched_result = batched.process_stream(stream, batch_size=512)
     assert scalar_result == batched_result
     assert _hll_state(scalar) == _hll_state(batched)
+
+
+def test_median_wrapper_uses_the_copies_batch_paths():
+    """Forwarded batches must reach the vectorized overrides, not the base
+    loop: a probe copy records which entry point was used."""
+
+    class Probe(HyperLogLogCounter):
+        batch_calls = 0
+        scalar_calls = 0
+
+        def update(self, item):
+            Probe.scalar_calls += 1
+            super().update(item)
+
+        def update_batch(self, items):
+            Probe.batch_calls += 1
+            super().update_batch(items)
+
+    wrapper = MedianEstimator(
+        lambda index: Probe(UNIVERSE, eps=0.1, seed=index), repetitions=3
+    )
+    wrapper.update_batch(np.arange(500, dtype=np.uint64))
+    assert Probe.batch_calls == 3
+    assert Probe.scalar_calls == 0
+
+
+def test_median_turnstile_batch_matches_scalar():
+    from repro.l0.knw_l0 import KNWHammingNormEstimator
+
+    def build():
+        return MedianTurnstileEstimator(
+            lambda index: KNWHammingNormEstimator(
+                UNIVERSE, eps=0.2, magnitude_bound=1 << 12, seed=60 + index
+            ),
+            repetitions=3,
+        )
+
+    rng = random.Random(63)
+    updates = [(rng.randrange(1 << 12), rng.choice([1, 1, 1, -1])) for _ in range(900)]
+    scalar = build()
+    for item, delta in updates:
+        scalar.update(item, delta)
+    batched = build()
+    for start in range(0, len(updates), 250):
+        chunk = updates[start : start + 250]
+        batched.update_batch([i for i, _ in chunk], [d for _, d in chunk])
+    assert batched.estimate() == scalar.estimate()
+    for mine, theirs in zip(batched.copies, scalar.copies):
+        assert mine.state_dict() == theirs.state_dict()
+
+
+def test_median_turnstile_batch_validates_lengths():
+    from repro.l0.knw_l0 import KNWHammingNormEstimator
+
+    wrapper = MedianTurnstileEstimator(
+        lambda index: KNWHammingNormEstimator(
+            UNIVERSE, eps=0.2, magnitude_bound=1 << 12, seed=index
+        ),
+        repetitions=3,
+    )
+    before = [copy.state_dict() for copy in wrapper.copies]
+    with pytest.raises(UpdateError):
+        wrapper.update_batch([1, 2, 3], [1, 1])
+    assert [copy.state_dict() for copy in wrapper.copies] == before
+
+
+def test_turnstile_process_stream_batched_equals_scalar(turnstile_stream):
+    from repro.l0.knw_l0 import KNWHammingNormEstimator
+
+    def build():
+        return KNWHammingNormEstimator(
+            turnstile_stream.universe_size,
+            eps=0.2,
+            magnitude_bound=1 << 12,
+            seed=67,
+        )
+
+    scalar = build()
+    scalar_result = scalar.process_stream(turnstile_stream)
+    for batch_size in (1, 7, 256):
+        batched = build()
+        batched_result = batched.process_stream(turnstile_stream, batch_size=batch_size)
+        assert batched_result == scalar_result
+        assert batched.state_dict() == scalar.state_dict()
+
+
+def test_iter_update_batches_views(turnstile_stream):
+    items = turnstile_stream.item_array()
+    deltas = turnstile_stream.delta_array()
+    rebuilt_items, rebuilt_deltas = [], []
+    for chunk_items, chunk_deltas in turnstile_stream.iter_update_batches(100):
+        assert len(chunk_items) == len(chunk_deltas) <= 100
+        rebuilt_items.extend(chunk_items.tolist())
+        rebuilt_deltas.extend(chunk_deltas.tolist())
+    assert rebuilt_items == items.tolist()
+    assert rebuilt_deltas == deltas.tolist()
+    with pytest.raises(ParameterError):
+        next(turnstile_stream.iter_update_batches(0))

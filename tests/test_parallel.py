@@ -1,0 +1,348 @@
+"""Sharded ingestion: shard + merge must equal sequential ingestion.
+
+The binding contract of :mod:`repro.parallel`: for every mergeable F0
+estimator whose hash functions are seed-determined, k-way sharded ingest
+followed by merge-reduce is *bit-identical* (equal ``state_dict()``,
+equal estimates) to one sketch fed the concatenated stream — across
+shard counts {1, 3, 8}, scalar and batched shard ingest, inline and
+real worker-process execution.  The engine's transport is the
+serialization layer, so these tests also exercise ``to_bytes`` /
+``from_bytes`` end to end across process boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.median import MedianEstimator
+from repro.estimators.registry import make_f0_estimator
+from repro.exceptions import MergeError, ParameterError
+from repro.parallel import (
+    mergeable_f0_names,
+    parallel_ingest_f0,
+    parallel_ingest_into,
+    parallel_merge_shards,
+    shard_items,
+)
+from repro.streams.generators import uniform_random_stream
+
+UNIVERSE = 1 << 20
+SHARD_COUNTS = [1, 3, 8]
+
+
+@pytest.fixture(scope="module")
+def items():
+    return np.random.RandomState(61).randint(0, UNIVERSE, size=12000).astype(np.uint64)
+
+
+@pytest.fixture(scope="module")
+def sequential_states(items):
+    """Reference single-sketch runs, one per deterministic mergeable name."""
+    states = {}
+    for name in mergeable_f0_names(shard_deterministic_only=True):
+        estimator = make_f0_estimator(name, UNIVERSE, 0.1, seed=71)
+        estimator.update_batch(items)
+        states[name] = (estimator.state_dict(), estimator.estimate())
+    return states
+
+
+def test_shard_items_partitions_without_copying(items):
+    shards = shard_items(items, 7)
+    assert len(shards) == 7
+    assert sum(len(shard) for shard in shards) == len(items)
+    assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+    assert np.array_equal(np.concatenate(shards), items)
+    assert all(shard.base is not None for shard in shards)  # views, not copies
+
+
+def test_shard_items_more_shards_than_items():
+    shards = shard_items(np.arange(3, dtype=np.uint64), 8)
+    assert [len(s) for s in shards] == [1, 1, 1, 0, 0, 0, 0, 0]
+
+
+def test_shard_items_rejects_bad_count(items):
+    with pytest.raises(ParameterError):
+        shard_items(items, 0)
+
+
+@pytest.mark.parametrize("name", mergeable_f0_names(shard_deterministic_only=True))
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_merge_equals_sequential_batched(
+    name, shards, items, sequential_states
+):
+    merged = parallel_ingest_f0(
+        name, items, 0.1, 71, universe_size=UNIVERSE, shards=shards, execution="inline"
+    )
+    state, estimate = sequential_states[name]
+    assert merged.state_dict() == state
+    assert merged.estimate() == estimate
+
+
+@pytest.mark.parametrize("name", mergeable_f0_names(shard_deterministic_only=True))
+def test_sharded_merge_equals_sequential_scalar(name, items, sequential_states):
+    """Scalar (per-item loop) shard ingest must land in the same state."""
+    merged = parallel_ingest_f0(
+        name,
+        items,
+        0.1,
+        71,
+        universe_size=UNIVERSE,
+        shards=3,
+        batch_size=None,  # forces update() loops inside the shard workers
+        execution="inline",
+    )
+    state, estimate = sequential_states[name]
+    assert merged.state_dict() == state
+    assert merged.estimate() == estimate
+
+
+@pytest.mark.parametrize("name", mergeable_f0_names(shard_deterministic_only=True))
+def test_four_worker_processes_bit_identical(name, items, sequential_states):
+    """The acceptance shape: real process pool, 4 workers, bit-identical."""
+    merged = parallel_ingest_f0(
+        name, items, 0.1, 71, universe_size=UNIVERSE, workers=4, execution="processes"
+    )
+    state, estimate = sequential_states[name]
+    assert merged.state_dict() == state
+    assert merged.estimate() == estimate
+
+
+def test_default_knw_merges_and_stays_within_tolerance(items):
+    """The default KNW config draws its rough-estimator hash lazily, so
+    sharding is approximation- (not bit-) equivalent; the merge must still
+    succeed and land within the estimator's error budget."""
+    single = make_f0_estimator("knw", UNIVERSE, 0.1, seed=71)
+    single.update_batch(items)
+    merged = parallel_ingest_f0(
+        "knw", items, 0.1, 71, universe_size=UNIVERSE, shards=4, execution="inline"
+    )
+    assert not single.shard_deterministic
+    assert merged.estimate() == pytest.approx(single.estimate(), rel=0.2)
+
+
+def test_engine_accepts_materialized_streams():
+    stream = uniform_random_stream(UNIVERSE, 5000, seed=73)
+    merged = parallel_ingest_f0("hyperloglog", stream, 0.1, 75, shards=3, execution="inline")
+    single = make_f0_estimator("hyperloglog", UNIVERSE, 0.1, seed=75)
+    single.update_batch(stream.item_array())
+    assert merged.state_dict() == single.state_dict()
+
+
+def test_mid_stream_template_state_is_preserved(items):
+    """The engine clones the estimator's *current* state into workers, so
+    it can take over an already-started sketch."""
+    reference = make_f0_estimator("kmv", UNIVERSE, 0.1, seed=77)
+    reference.update_batch(items)
+    resumed = make_f0_estimator("kmv", UNIVERSE, 0.1, seed=77)
+    resumed.update_batch(items[:4000])  # serial prefix ...
+    parallel_ingest_into(
+        resumed, items[4000:], shards=3, execution="inline"
+    )  # ... sharded remainder
+    assert resumed.state_dict() == reference.state_dict()
+
+
+def test_median_wrapper_shards_and_merges(items):
+    """The amplification wrapper merges pairwise, so it shards like any
+    other mergeable sketch."""
+
+    def build():
+        return MedianEstimator(
+            lambda index: make_f0_estimator(
+                "hyperloglog", UNIVERSE, 0.15, seed=80 + index
+            ),
+            repetitions=3,
+        )
+
+    single = build()
+    single.update_batch(items)
+    sharded = build()
+    parallel_ingest_into(sharded, items, shards=3, execution="inline")
+    assert sharded.state_dict() == single.state_dict()
+    assert sharded.estimate() == single.estimate()
+
+
+def test_median_wrapper_merge_validates():
+    def build(repetitions):
+        return MedianEstimator(
+            lambda index: make_f0_estimator(
+                "hyperloglog", UNIVERSE, 0.15, seed=90 + index
+            ),
+            repetitions=repetitions,
+        )
+
+    with pytest.raises(MergeError):
+        build(3).merge(build(5))
+    with pytest.raises(MergeError):
+        build(3).merge(make_f0_estimator("hyperloglog", UNIVERSE, 0.15, seed=90))
+    mismatched = MedianEstimator(
+        lambda index: make_f0_estimator("kmv", UNIVERSE, 0.15, seed=90 + index),
+        repetitions=3,
+    )
+    with pytest.raises(MergeError):
+        build(3).merge(mismatched)  # same repetitions, different copy kinds
+
+
+def test_unmergeable_estimator_raises(items):
+    estimator = make_f0_estimator("knw-fast", UNIVERSE, 0.1, seed=1)
+    with pytest.raises(ParameterError):
+        parallel_ingest_into(estimator, items, shards=4, execution="inline")
+
+
+def test_seedless_estimator_raises(items):
+    estimator = make_f0_estimator("hyperloglog", UNIVERSE, 0.1, seed=None)
+    with pytest.raises(ParameterError):
+        parallel_ingest_into(estimator, items, shards=4, execution="inline")
+
+
+def test_seedless_median_wrapper_raises_up_front(items):
+    """The wrapper has no ``seed`` attribute of its own; the engine must
+    look through to the copies instead of ingesting the whole stream and
+    failing only at merge time."""
+    wrapper = MedianEstimator(
+        lambda index: make_f0_estimator("hyperloglog", UNIVERSE, 0.1, seed=None),
+        repetitions=3,
+    )
+    with pytest.raises(ParameterError):
+        parallel_ingest_into(wrapper, items, shards=4, execution="inline")
+
+
+def test_single_shard_needs_no_merge_support(items):
+    """One shard degenerates to a plain feed, so even unmergeable sketches
+    work with workers=1."""
+    estimator = make_f0_estimator("knw-fast", UNIVERSE, 0.1, seed=1)
+    parallel_ingest_into(estimator, items[:2000], workers=1)
+    single = make_f0_estimator("knw-fast", UNIVERSE, 0.1, seed=1)
+    single.update_batch(items[:2000])
+    assert estimator.estimate() == single.estimate()
+
+
+def test_mergeable_names_cover_the_figure1_baselines():
+    names = set(mergeable_f0_names())
+    for expected in (
+        "ams",
+        "bjkst",
+        "exact",
+        "flajolet-martin",
+        "gibbons-tirthapura",
+        "hyperloglog",
+        "kmv",
+        "knw",
+        "knw-paper",
+        "linear-counting",
+        "loglog",
+        "multiscale-bitmap",
+    ):
+        assert expected in names
+    assert "knw-fast" not in names
+    deterministic = set(mergeable_f0_names(shard_deterministic_only=True))
+    assert "knw" not in deterministic
+    assert "knw-paper" in deterministic
+
+
+# -- workers threaded through the analysis layer and the apps ------------------
+
+
+def test_runner_workers_matches_serial():
+    from repro.analysis.runner import run_f0_by_name
+
+    stream = uniform_random_stream(UNIVERSE, 8000, seed=83)
+    checkpoints = stream.checkpoints(3)
+    serial = run_f0_by_name(
+        "hyperloglog", stream, 0.1, seed=85, checkpoint_positions=checkpoints,
+        batch_size=2048,
+    )
+    sharded = run_f0_by_name(
+        "hyperloglog", stream, 0.1, seed=85, checkpoint_positions=checkpoints,
+        batch_size=2048, workers=3,
+    )
+    assert sharded.estimate == serial.estimate
+    assert [c.__dict__ for c in sharded.checkpoints] == [
+        c.__dict__ for c in serial.checkpoints
+    ]
+
+
+def test_runner_rejects_turnstile_workers(turnstile_stream):
+    from repro.analysis.runner import run_l0_by_name
+    from repro.analysis.runner import _run
+    from repro.estimators.registry import make_l0_estimator
+
+    estimator = make_l0_estimator("exact-l0", UNIVERSE, 0.2, 1 << 10, seed=1)
+    with pytest.raises(ParameterError):
+        _run(estimator, turnstile_stream, None, turnstile=True, workers=2)
+
+
+def test_sweep_workers_matches_serial():
+    from repro.analysis.sweeps import accuracy_sweep
+
+    def factory(seed):
+        return uniform_random_stream(1 << 16, 3000, seed=seed)
+
+    serial = accuracy_sweep(["hyperloglog", "kmv"], factory, [0.1], [1, 2])
+    pooled = accuracy_sweep(["hyperloglog", "kmv"], factory, [0.1], [1, 2], workers=2)
+    assert [point.__dict__ for point in serial] == [point.__dict__ for point in pooled]
+
+
+def test_query_optimizer_partitioned_ingest_matches_column_ingest():
+    from repro.apps.query_optimizer import ColumnStatisticsCollector
+
+    rng = np.random.RandomState(87)
+    values = [
+        int(value) if value >= 0 else None
+        for value in rng.randint(-2000, 1 << 15, size=4000)
+    ]
+    whole = ColumnStatisticsCollector(["c"], universe_size=1 << 16, eps=0.1, seed=5)
+    whole.ingest_column("c", values)
+    partitioned = ColumnStatisticsCollector(["c"], universe_size=1 << 16, eps=0.1, seed=5)
+    partitioned.ingest_column_partitions(
+        "c", [values[:1000], values[1000:2500], values[2500:]], workers=2
+    )
+    assert partitioned.ndv("c") == whole.ndv("c")
+    assert partitioned._row_counts == whole._row_counts
+
+
+def test_network_monitor_per_link_shards_match_union():
+    import random as stdlib_random
+
+    from repro.apps.network_monitor import FlowCardinalityMonitor
+    from repro.streams.datasets import FlowRecord
+
+    rng = stdlib_random.Random(89)
+    records = [
+        FlowRecord(rng.randrange(64), rng.randrange(4096), rng.randrange(1024))
+        for _ in range(2400)
+    ]
+    links = [records[:800], records[800:1400], records[1400:]]
+    sharded = FlowCardinalityMonitor(
+        universe_size=1 << 16, window_packets=1 << 30, seed=2, mergeable=True
+    )
+    report = sharded.ingest_window_shards(links, workers=2)
+    serial = FlowCardinalityMonitor(
+        universe_size=1 << 16, window_packets=1 << 30, seed=2, mergeable=True
+    )
+    serial.observe_batch(records)
+    assert report.__dict__ == serial.flush().__dict__
+
+
+def test_network_monitor_shards_require_mergeable_mode():
+    from repro.apps.network_monitor import FlowCardinalityMonitor
+
+    monitor = FlowCardinalityMonitor(universe_size=1 << 16, seed=2)
+    with pytest.raises(ParameterError):
+        monitor.ingest_window_shards([[]])
+
+
+def test_data_cleaning_parallel_pairs_match_serial():
+    import random as stdlib_random
+
+    from repro.apps.data_cleaning import SimilarColumnFinder
+
+    rng = stdlib_random.Random(91)
+    base = [rng.randrange(1 << 12) for _ in range(600)]
+    finder = SimilarColumnFinder(1 << 12, eps=0.3, seed=3)
+    finder.add_column("a", base)
+    finder.add_column("b", base[:500] + [rng.randrange(1 << 12) for _ in range(100)])
+    finder.add_column("c", [rng.randrange(1 << 12) for _ in range(600)])
+    serial = [report.__dict__ for report in finder.most_similar_pairs(3)]
+    pooled = [report.__dict__ for report in finder.most_similar_pairs(3, workers=2)]
+    assert pooled == serial
