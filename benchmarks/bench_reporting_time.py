@@ -3,9 +3,11 @@
 The paper's reporting time is O(1): the fast implementation maintains the
 occupancy count incrementally and evaluates the logarithm via the Appendix
 A.2 lookup table.  The benchmark times ``estimate()`` on warm sketches and
-checks that the fast KNW report does not scale with eps (the reference
-Figure 3 implementation recomputes nothing either, but the baselines that
-scan their registers — LogLog/HLL — do scale with 1/eps^2).
+checks that the fast KNW report does not scale with eps.  The
+register-scanning baselines (LogLog/HLL) still do Theta(1/eps^2) *work*
+per report, but since their estimators read the registers through one
+bulk ``PackedCounterArray.to_numpy`` pass, the interpreter-level cost no
+longer scales with 1/eps^2 — only the (far cheaper) vector reductions do.
 """
 
 from __future__ import annotations

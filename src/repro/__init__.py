@@ -43,7 +43,8 @@ The main entry points are:
 * :mod:`repro.serialize` — ``state_dict``/``to_bytes`` sketch transport
   (every estimator round-trips bit-identically).
 * :mod:`repro.parallel` — sharded multi-process ingestion with
-  merge-reduce (``parallel_ingest_f0(..., workers=8)``).
+  merge-reduce (``parallel_ingest_f0(..., workers=8)``; the linear L0
+  sketches shard too via ``parallel_ingest_l0``).
 * :mod:`repro.analysis.runner` — run any estimator over any stream, with
   optional ``batch_size`` for batched driving and ``workers`` for
   sharded multi-process ingestion.
@@ -77,7 +78,14 @@ from .exceptions import (
 )
 from .l0.knw_l0 import KNWHammingNormEstimator
 from .l0.rough_l0 import RoughL0Estimator
-from .parallel import mergeable_f0_names, parallel_ingest_f0, parallel_ingest_into
+from .parallel import (
+    mergeable_f0_names,
+    mergeable_l0_names,
+    parallel_ingest_f0,
+    parallel_ingest_into,
+    parallel_ingest_l0,
+    parallel_ingest_updates_into,
+)
 
 __all__ = [
     "__version__",
@@ -104,6 +112,9 @@ __all__ = [
     "KNWHammingNormEstimator",
     "RoughL0Estimator",
     "mergeable_f0_names",
+    "mergeable_l0_names",
     "parallel_ingest_f0",
     "parallel_ingest_into",
+    "parallel_ingest_l0",
+    "parallel_ingest_updates_into",
 ]

@@ -13,14 +13,16 @@ requested prefixes).  Batch and scalar driving produce identical results
 — the batch API is contractually equivalent to the update loop — so
 sweeps can enable batching purely for throughput.
 
-F0 entry points additionally take ``workers``: when more than 1, each
+Every entry point additionally takes ``workers``: when more than 1, each
 stream segment between checkpoints is ingested by the sharded
 multi-process engine (:mod:`repro.parallel`) — worker processes ingest
 contiguous shards into same-seed clones and the results merge-reduce
 back into the run's estimator, so mid-stream reports still see exactly
 the requested prefixes.  Requires a mergeable estimator; results are
 bit-identical to serial driving for seed-determined hash configurations
-(see ``CardinalityEstimator.shard_deterministic``).
+(see ``CardinalityEstimator.shard_deterministic``) — which, on the
+turnstile side, is every mergeable L0 sketch (they are linear with
+eagerly drawn hashes).
 """
 
 from __future__ import annotations
@@ -31,7 +33,11 @@ from typing import List, Optional, Sequence
 from ..estimators.base import CardinalityEstimator, TurnstileEstimator
 from ..estimators.registry import make_f0_estimator, make_l0_estimator
 from ..exceptions import ParameterError, UpdateError
-from ..parallel import DEFAULT_SHARD_BATCH, parallel_ingest_into
+from ..parallel import (
+    DEFAULT_SHARD_BATCH,
+    parallel_ingest_into,
+    parallel_ingest_updates_into,
+)
 from ..streams.model import MaterializedStream
 from .metrics import relative_error
 
@@ -127,38 +133,49 @@ def _drive_sharded(
     checkpoints: List[CheckpointResult],
     batch_size: Optional[int],
     workers: int,
+    turnstile: bool,
 ) -> None:
     """Feed each inter-checkpoint segment through the sharded engine.
 
     One worker pool serves every segment — pool startup is paid once per
-    run, not once per checkpoint.
+    run, not once per checkpoint.  Turnstile runs shard ``(items, deltas)``
+    pairs through the L0 merge-reduce engine; insertion-only runs shard
+    the item array.
     """
     from concurrent.futures import ProcessPoolExecutor
 
     items = stream.item_array()
+    deltas = stream.delta_array() if turnstile else None
     chunk = batch_size if batch_size is not None else DEFAULT_SHARD_BATCH
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        cursor = 0
-        for position, truth in zip(positions, truths):
-            if position > cursor:
-                parallel_ingest_into(
-                    estimator,
-                    items[cursor:position],
-                    shards=workers,
-                    batch_size=chunk,
-                    executor=pool,
-                )
-                cursor = position
-            if position > 0:
-                _checkpoint(checkpoints, estimator, position, truth)
-        if cursor < len(stream):
-            parallel_ingest_into(
+
+    def ingest_segment(start: int, stop: int, pool) -> None:
+        if turnstile:
+            parallel_ingest_updates_into(
                 estimator,
-                items[cursor:],
+                (items[start:stop], deltas[start:stop]),
                 shards=workers,
                 batch_size=chunk,
                 executor=pool,
             )
+        else:
+            parallel_ingest_into(
+                estimator,
+                items[start:stop],
+                shards=workers,
+                batch_size=chunk,
+                executor=pool,
+            )
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        cursor = 0
+        for position, truth in zip(positions, truths):
+            if position > cursor:
+                ingest_segment(cursor, position, pool)
+                cursor = position
+            if position > 0:
+                _checkpoint(checkpoints, estimator, position, truth)
+        if cursor < len(stream):
+            ingest_segment(cursor, len(stream), pool)
 
 
 def _run(
@@ -173,14 +190,15 @@ def _run(
     truths = stream.ground_truth_at(positions) if positions else []
     checkpoints: List[CheckpointResult] = []
     if workers is not None and workers > 1:
-        if turnstile:
-            raise ParameterError(
-                "workers > 1 requires mergeable sketches; turnstile (L0) "
-                "estimators do not expose merge — parallelise across trials "
-                "instead (see analysis.sweeps)"
-            )
         _drive_sharded(
-            estimator, stream, positions, truths, checkpoints, batch_size, workers
+            estimator,
+            stream,
+            positions,
+            truths,
+            checkpoints,
+            batch_size,
+            workers,
+            turnstile,
         )
     elif batch_size is not None:
         if batch_size <= 0:
@@ -265,10 +283,22 @@ def run_l0(
     stream: MaterializedStream,
     checkpoint_positions: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> RunResult:
-    """Run a turnstile estimator over a stream (see :func:`run_f0`)."""
+    """Run a turnstile estimator over a stream (see :func:`run_f0`).
+
+    ``workers > 1`` ingests each inter-checkpoint segment through the
+    sharded L0 engine — the library's L0 sketches are linear, so the
+    sharded state is bit-identical to serial driving (requires an
+    estimator built with an explicit seed).
+    """
     return _run(
-        estimator, stream, checkpoint_positions, turnstile=True, batch_size=batch_size
+        estimator,
+        stream,
+        checkpoint_positions,
+        turnstile=True,
+        batch_size=batch_size,
+        workers=workers,
     )
 
 
@@ -295,8 +325,11 @@ def run_l0_by_name(
     seed: Optional[int] = None,
     checkpoint_positions: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> RunResult:
     """Instantiate a registered L0 algorithm and run it over ``stream``."""
     magnitude_bound = max(len(stream) * stream.max_update_magnitude(), 1)
     estimator = make_l0_estimator(name, stream.universe_size, eps, magnitude_bound, seed)
-    return run_l0(estimator, stream, checkpoint_positions, batch_size=batch_size)
+    return run_l0(
+        estimator, stream, checkpoint_positions, batch_size=batch_size, workers=workers
+    )

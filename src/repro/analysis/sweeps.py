@@ -82,9 +82,11 @@ def _f0_trial(args: Tuple[str, float, int, Optional[int]]) -> Tuple[float, int]:
     return result.estimate, result.space_bits
 
 
-def _l0_trial(args: Tuple[str, float, int]) -> Tuple[float, int]:
-    algorithm, eps, seed = args
-    result = run_l0_by_name(algorithm, _TRIAL_STREAM, eps, seed=seed)
+def _l0_trial(args: Tuple[str, float, int, Optional[int]]) -> Tuple[float, int]:
+    algorithm, eps, seed, batch_size = args
+    result = run_l0_by_name(
+        algorithm, _TRIAL_STREAM, eps, seed=seed, batch_size=batch_size
+    )
     return result.estimate, result.space_bits
 
 
@@ -201,19 +203,25 @@ def l0_accuracy_sweep(
     eps_values: Sequence[float],
     seeds: Sequence[int],
     stream_seed: int = 12345,
+    batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
     workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run an L0 accuracy sweep (same contract as :func:`accuracy_sweep`).
 
-    Trial-level ``workers`` parallelism applies here too — it is the
-    *only* parallel axis for turnstile sketches, which do not merge.
+    Like the F0 sweep, trials drive their sketches through the batched
+    turnstile ``update_batch`` path by default — the L0 batch pipeline is
+    bit-identical to the scalar loop, so only the wall-clock changes.
+    Trial-level ``workers`` parallelism applies here too (and remains the
+    natural axis for sweeps; single long L0 runs can instead shard
+    *within* a run via ``run_l0(workers=...)``, the L0 sketches being
+    linear and hence mergeable).
     """
     if not algorithms or not eps_values or not seeds:
         raise ParameterError("l0_accuracy_sweep needs algorithms, eps values, and seeds")
     stream = stream_factory(stream_seed)
     truth = stream.ground_truth()
     grid = [
-        (algorithm, eps, seed)
+        (algorithm, eps, seed, batch_size)
         for eps in eps_values
         for algorithm in algorithms
         for seed in seeds
@@ -222,8 +230,10 @@ def l0_accuracy_sweep(
         outcomes = _pooled_trials(_l0_trial, grid, stream, workers)
     else:
         outcomes = []
-        for algorithm, eps, seed in grid:
-            result = run_l0_by_name(algorithm, stream, eps, seed=seed)
+        for algorithm, eps, seed, chunk in grid:
+            result = run_l0_by_name(
+                algorithm, stream, eps, seed=seed, batch_size=chunk
+            )
             outcomes.append((result.estimate, result.space_bits))
     return _collect_points(grid, outcomes, len(seeds), truth)
 

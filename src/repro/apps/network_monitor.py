@@ -10,7 +10,11 @@ paper cites).
 
 :class:`FlowCardinalityMonitor` wraps a KNW sketch per tracked dimension
 and keeps a short history of per-window distinct counts so simple
-threshold detectors can run on top of it.
+threshold detectors can run on top of it.  With
+``track_active_flows=True`` it additionally maintains a turnstile L0
+sketch of the *currently open* flows (flow-open events insert, flow-close
+events delete), fed through the vectorized turnstile batch pipeline —
+the paper's Section 4 deletion capability as a monitoring feature.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from ..baselines.linear_counting import LinearCounter
 from ..core.fast_knw import FastKNWDistinctCounter
 from ..core.knw import KNWDistinctCounter
 from ..exceptions import ParameterError
+from ..l0.knw_l0 import KNWHammingNormEstimator
 from ..parallel import parallel_merge_shards
 from ..streams.datasets import FlowRecord
 from ..vectorize import HAS_NUMPY, np
@@ -69,6 +74,7 @@ class FlowCardinalityMonitor:
         scan_fanout_threshold: int = 256,
         seed: int = 1,
         mergeable: bool = False,
+        track_active_flows: bool = False,
     ) -> None:
         """Create the monitor.
 
@@ -85,6 +91,14 @@ class FlowCardinalityMonitor:
                 merge).  Required for :meth:`ingest_window_shards`, the
                 per-link sharded deployment where several taps' traffic
                 is union-counted.
+            track_active_flows: additionally maintain a turnstile L0
+                sketch of the *currently open* flows — flow-open events
+                insert, flow-close events delete — queried via
+                :meth:`active_flow_estimate`.  The sketch is long-lived
+                (it does not roll with the packet windows: a flow opened
+                in one window may close many windows later), which is
+                exactly why the deletion path needs the L0 machinery
+                rather than an F0 sketch.
         """
         if window_packets <= 0:
             raise ParameterError("window_packets must be positive")
@@ -99,6 +113,11 @@ class FlowCardinalityMonitor:
         self._window_index = 0
         self._packets_in_window = 0
         self._reports: List[WindowReport] = []
+        self._active_flows: Optional[KNWHammingNormEstimator] = None
+        if track_active_flows:
+            self._active_flows = KNWHammingNormEstimator(
+                universe_size, eps=eps, seed=seed + 4
+            )
         self._new_window_sketches()
         # Per-source fan-out sketches are intentionally tiny: the detector
         # only needs to notice fan-outs in the hundreds, so a small
@@ -290,6 +309,56 @@ class FlowCardinalityMonitor:
             self._observe_fanout(link)
         self._packets_in_window = sum(len(link) for link in links)
         return self._roll_window()
+
+    # -- active-flow (deletion) tracking -------------------------------------------
+
+    def _require_active_flows(self) -> KNWHammingNormEstimator:
+        if self._active_flows is None:
+            raise ParameterError(
+                "active-flow tracking is off; construct the monitor with "
+                "track_active_flows=True"
+            )
+        return self._active_flows
+
+    def observe_flow_open(self, record: FlowRecord) -> None:
+        """Record a flow-establishment event (e.g. a TCP SYN): ``x_flow += 1``."""
+        self._require_active_flows().update(record.flow_id(self.universe_size), 1)
+
+    def observe_flow_close(self, record: FlowRecord) -> None:
+        """Record a flow-teardown event (e.g. a FIN/RST): ``x_flow -= 1``."""
+        self._require_active_flows().update(record.flow_id(self.universe_size), -1)
+
+    def observe_flow_events_batch(
+        self, records: Sequence[FlowRecord], deltas: Sequence[int]
+    ) -> None:
+        """Ingest a chunk of flow open/close events through the batched L0 path.
+
+        The deletion-path counterpart of :meth:`observe_batch`: one signed
+        delta per record (``+1`` open, ``-1`` close), driven through the
+        vectorized turnstile ``update_batch`` pipeline — bit-identical to
+        calling :meth:`observe_flow_open` / :meth:`observe_flow_close`
+        per event, at batch throughput.
+        """
+        sketch = self._require_active_flows()
+        if len(records) != len(deltas):
+            raise ParameterError(
+                "observe_flow_events_batch needs one delta per record"
+            )
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            for record, delta in zip(records, deltas):
+                sketch.update(record.flow_id(self.universe_size), int(delta))
+            return
+        universe = self.universe_size
+        flow_ids = np.fromiter(
+            (record.flow_id(universe) for record in records),
+            dtype=np.uint64,
+            count=len(records),
+        )
+        sketch.update_batch(flow_ids, np.asarray(deltas, dtype=np.int64))
+
+    def active_flow_estimate(self) -> float:
+        """Return the estimated number of currently open flows (L0)."""
+        return self._require_active_flows().estimate()
 
     def _observe_fanout(self, records: Sequence[FlowRecord]) -> None:
         """Feed the per-source fan-out bitmaps, grouped by source."""

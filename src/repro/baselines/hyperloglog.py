@@ -120,15 +120,28 @@ class HyperLogLogCounter(CardinalityEstimator):
         self._registers.maximize_many(registers, rho)
 
     def estimate(self) -> float:
-        """Return the bias-corrected harmonic-mean estimate."""
+        """Return the bias-corrected harmonic-mean estimate.
+
+        The register scan is one bulk :meth:`PackedCounterArray.to_numpy
+        <repro.bitstructs.packed.PackedCounterArray.to_numpy>` read plus
+        two vector reductions, so reporting time no longer scales with
+        ``m = O(1/eps^2)`` Python-level register extractions.
+        """
         m = self.registers
-        inverse_sum = 0.0
-        zero_registers = 0
-        for index in range(m):
-            value = self._registers.get(index)
-            if value == 0:
-                zero_registers += 1
-            inverse_sum += 2.0 ** (-value)
+        if np is not None:
+            # int32 exponents: np.ldexp has no int64-exponent loop on
+            # platforms where C long is 32 bits (register values are < 64).
+            values = self._registers.to_numpy().astype(np.int32)
+            zero_registers = int(np.count_nonzero(values == 0))
+            inverse_sum = float(np.ldexp(1.0, -values).sum())
+        else:  # pragma: no cover - numpy is a declared dependency
+            inverse_sum = 0.0
+            zero_registers = 0
+            for index in range(m):
+                value = self._registers.get(index)
+                if value == 0:
+                    zero_registers += 1
+                inverse_sum += 2.0 ** (-value)
         raw = _alpha(m) * m * m / inverse_sum
         if raw <= 2.5 * m and zero_registers > 0:
             # Small-range correction: fall back to linear counting.

@@ -84,8 +84,7 @@ class LinearCounter(CardinalityEstimator):
         keys = as_key_array(items, self.universe_size)
         if keys.size == 0:
             return
-        positions = np.unique(self._oracle.hash_batch_validated(keys))
-        self._bitmap.set_many(positions.tolist())
+        self._bitmap.set_many(self._oracle.hash_batch_validated(keys))
 
     def estimate(self) -> float:
         """Return ``b * ln(b / zeros)`` (saturating when no zeros remain)."""

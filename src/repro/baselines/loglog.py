@@ -113,8 +113,18 @@ class LogLogCounter(CardinalityEstimator):
         self._registers.maximize_many(registers, rho)
 
     def estimate(self) -> float:
-        """Return ``alpha * m * 2^{mean register}``."""
-        total = sum(self._registers.get(index) for index in range(self.registers))
+        """Return ``alpha * m * 2^{mean register}``.
+
+        The register total comes from one bulk
+        :meth:`PackedCounterArray.to_numpy
+        <repro.bitstructs.packed.PackedCounterArray.to_numpy>` read (an
+        exact integer sum), so reporting no longer pays ``m`` Python-level
+        register extractions.
+        """
+        if np is not None:
+            total = int(self._registers.to_numpy().sum())
+        else:  # pragma: no cover - numpy is a declared dependency
+            total = sum(self._registers.get(index) for index in range(self.registers))
         mean = total / self.registers
         return self._alpha * self.registers * (2.0 ** mean)
 

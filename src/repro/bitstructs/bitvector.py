@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..exceptions import ParameterError
+from ..vectorize import HAS_NUMPY, np
 
 __all__ = ["BitVector"]
 
@@ -65,16 +66,49 @@ class BitVector:
 
         The batch-ingestion paths (linear counting, Flajolet--Martin
         bitmaps, the small-F0 bitvector) reduce a whole chunk of items to
-        bit positions at once; deduplicating first keeps the Python-level
-        work proportional to the number of *distinct* touched bits, which
-        is bounded by the (small) vector length rather than the batch size.
+        bit positions at once; the bits are OR-scattered into the byte
+        buffer in one vectorized pass and the ones count is recomputed
+        with one popcount, so the Python-level work no longer scales with
+        the number of touched bits.
 
         Args:
-            indices: iterable of bit positions (a NumPy array or any
-                integer sequence); validated per position like :meth:`set`.
+            indices: a NumPy array or any integer sequence of bit
+                positions; the whole batch is range-validated up front,
+                like :meth:`set` validates per position.
         """
-        for index in sorted(set(int(index) for index in indices)):
-            self.set(index, 1)
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            for index in sorted(set(int(index) for index in indices)):
+                self.set(index, 1)
+            return
+        positions = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if positions.size == 0:
+            return
+        if int(positions.min()) < 0 or int(positions.max()) >= self.length:
+            bad = int(positions.min() if positions.min() < 0 else positions.max())
+            raise ParameterError(
+                "bit index %d outside [0, %d)" % (bad, self.length)
+            )
+        # frombuffer over the bytearray is a writable zero-copy view, so
+        # the OR-scatter mutates the vector's own storage in place.
+        buffer = np.frombuffer(self._bytes, dtype=np.uint8)
+        masks = (1 << (positions & np.int64(7))).astype(np.uint8)
+        np.bitwise_or.at(buffer, positions >> np.int64(3), masks)
+        self._ones = int(np.unpackbits(buffer).sum())
+
+    def to_numpy(self):
+        """Return all bits as a ``uint8`` 0/1 ndarray in one bulk read.
+
+        The bulk counterpart of :meth:`get`, decoded with a single
+        ``np.unpackbits`` pass; the query-side batch paths use it to scan
+        a bitmap without ``length`` Python calls.
+        """
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            raise ParameterError("BitVector.to_numpy requires numpy")
+        return np.unpackbits(
+            np.frombuffer(bytes(self._bytes), dtype=np.uint8),
+            count=self.length,
+            bitorder="little",
+        )
 
     def clear(self) -> None:
         """Reset every bit to zero."""
@@ -101,7 +135,14 @@ class BitVector:
             raise ParameterError("union_update expects a BitVector")
         if other.length != self.length:
             raise ParameterError("cannot union BitVectors of different lengths")
-        ones = 0
+        if HAS_NUMPY:
+            merged = np.frombuffer(bytes(self._bytes), dtype=np.uint8) | np.frombuffer(
+                bytes(other._bytes), dtype=np.uint8
+            )
+            self._bytes = bytearray(merged.tobytes())
+            self._ones = int(np.unpackbits(merged).sum())
+            return
+        ones = 0  # pragma: no cover - numpy is a declared dependency
         for i in range(len(self._bytes)):
             merged = self._bytes[i] | other._bytes[i]
             self._bytes[i] = merged

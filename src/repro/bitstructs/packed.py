@@ -22,6 +22,11 @@ from ..vectorize import np, require_numpy
 
 __all__ = ["PackedCounterArray"]
 
+#: Counter width beyond which the vectorized bulk paths would overflow a
+#: ``uint64`` lane; wider arrays (none exist in the library — widths here
+#: are ``O(log log n)``) fall back to the scalar loops.
+_WORD_WIDTH_LIMIT = 63
+
 
 class PackedCounterArray:
     """An array of ``length`` unsigned counters of ``width`` bits each.
@@ -91,15 +96,12 @@ class PackedCounterArray:
 
         This is the bulk form of :meth:`maximize` used by the vectorized
         ``update_batch`` paths (HyperLogLog/LogLog registers, RoughEstimator
-        counters): the per-index maxima are reduced with
-        ``np.maximum.at`` and only the counters that actually changed are
-        rewritten into the packed buffer.  The final state is identical to
-        calling :meth:`maximize` per pair in any order (maximum is
-        commutative and associative).
-
-        The Python-level work is proportional to the number of *distinct
-        indices touched by the batch* (bounded by both the batch size and
-        the array length), not to the array length.
+        counters): the per-index maxima are reduced with ``np.maximum.at``,
+        compared against a bulk :meth:`to_numpy` read, and — when anything
+        actually grew — the whole buffer is re-packed in one vectorized
+        pass instead of one Python big-int rewrite per touched counter.
+        The final state is identical to calling :meth:`maximize` per pair
+        in any order (maximum is commutative and associative).
 
         Args:
             indices: integer ndarray of counter indices (already validated
@@ -110,13 +112,33 @@ class PackedCounterArray:
         require_numpy("PackedCounterArray.maximize_many")
         if len(indices) == 0:
             return
-        touched, inverse = np.unique(
-            np.asarray(indices, dtype=np.int64), return_inverse=True
-        )
+        indices = np.asarray(indices, dtype=np.int64)
+        if self.width > _WORD_WIDTH_LIMIT:  # pragma: no cover - no current user
+            touched, inverse = np.unique(indices, return_inverse=True)
+            maxima = np.zeros(len(touched), dtype=np.int64)
+            np.maximum.at(maxima, inverse, np.asarray(values, dtype=np.int64))
+            for index, value in zip(touched.tolist(), maxima.tolist()):
+                self.maximize(index, value)
+            return
+        if int(indices.min()) < 0 or int(indices.max()) >= self.length:
+            bad = int(indices.min() if indices.min() < 0 else indices.max())
+            raise ParameterError(
+                "index %d outside [0, %d)" % (bad, self.length)
+            )
+        touched, inverse = np.unique(indices, return_inverse=True)
         maxima = np.zeros(len(touched), dtype=np.int64)
         np.maximum.at(maxima, inverse, np.asarray(values, dtype=np.int64))
-        for index, value in zip(touched.tolist(), maxima.tolist()):
-            self.maximize(index, value)
+        current = self.to_numpy()
+        changed = maxima > current[touched].astype(np.int64)
+        if not changed.any():
+            return
+        peak = int(maxima[changed].max())
+        if peak > self._mask:
+            raise ParameterError(
+                "value %d does not fit in %d bits" % (peak, self.width)
+            )
+        current[touched[changed]] = maxima[changed].astype(np.uint64)
+        self._buffer = self._pack(current)
 
     def fill(self, value: int) -> None:
         """Set every counter to ``value``."""
@@ -133,9 +155,52 @@ class PackedCounterArray:
         """Return how many counters are >= ``threshold``.
 
         RoughEstimator's estimator needs ``T_r = |{i : C_i >= r}|``; this is
-        the bulk form of that query.
+        the bulk form of that query, answered from one :meth:`to_numpy`
+        read instead of ``length`` packed-buffer extractions.
         """
+        if threshold <= 0:
+            return self.length
+        if threshold > self._mask:
+            return 0
+        if np is not None and self.width <= _WORD_WIDTH_LIMIT:
+            return int(np.count_nonzero(self.to_numpy() >= np.uint64(threshold)))
         return sum(1 for index in range(self.length) if self.get(index) >= threshold)
+
+    def to_numpy(self):
+        """Return all counters as a ``uint64`` ndarray in one bulk read.
+
+        The whole buffer is decoded with one ``np.unpackbits`` pass and a
+        width-strided recombination, so reading ``length`` counters costs
+        O(length * width / 64) vector work rather than ``length`` Python
+        big-int shifts.  This is the read primitive behind
+        :meth:`maximize_many`, :meth:`count_at_least`, and the register
+        scans in the LogLog/HyperLogLog estimators.
+        """
+        require_numpy("PackedCounterArray.to_numpy")
+        if self.width > _WORD_WIDTH_LIMIT:  # pragma: no cover - no current user
+            out = np.empty(self.length, dtype=object)
+            out[:] = self.to_list()
+            return out
+        total_bits = self.length * self.width
+        raw = self._buffer.to_bytes((total_bits + 7) // 8, "little")
+        bits = np.unpackbits(
+            np.frombuffer(raw, dtype=np.uint8), count=total_bits, bitorder="little"
+        )
+        weights = np.left_shift(
+            np.uint64(1), np.arange(self.width, dtype=np.uint64)
+        )
+        return (
+            bits.reshape(self.length, self.width).astype(np.uint64) * weights
+        ).sum(axis=1, dtype=np.uint64)
+
+    def _pack(self, values) -> int:
+        """Re-encode a full ``uint64`` value array into the bit buffer."""
+        bits = (
+            (values[:, None] >> np.arange(self.width, dtype=np.uint64))
+            & np.uint64(1)
+        ).astype(np.uint8)
+        packed = np.packbits(bits.reshape(-1), bitorder="little")
+        return int.from_bytes(packed.tobytes(), "little")
 
     def to_list(self) -> List[int]:
         """Return the counters as a plain list (mainly for tests)."""

@@ -115,7 +115,7 @@ class SmallF0Estimator:
                 self._mark_overflowed()
         if extended_bins is None:
             extended_bins = self.hashes.extended_bin_batch(keys)
-        self._bits.set_many(np.unique(extended_bins).tolist())
+        self._bits.set_many(extended_bins)
 
     def _mark_overflowed(self) -> None:
         """Switch permanently to the bitvector regime.

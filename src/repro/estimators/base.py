@@ -239,6 +239,15 @@ class TurnstileEstimator(SerializableState, abc.ABC):
     #: (true for Ganguly's algorithm, false for KNW's).
     requires_nonnegative_frequencies: bool = False
 
+    #: Whether same-seed sketches fed disjoint shards and merged are
+    #: *bit-identical* to one sketch fed the concatenation.  The library's
+    #: turnstile sketches are all *linear* (their counters are sums of
+    #: deltas modulo fixed primes) with eagerly drawn hash functions, so
+    #: — unlike the lazily-drawn F0 configurations — every mergeable L0
+    #: sketch shards exactly.  Mirrors
+    #: :attr:`CardinalityEstimator.shard_deterministic`.
+    shard_deterministic: bool = True
+
     @abc.abstractmethod
     def update(self, item: int, delta: int) -> None:
         """Apply the update ``x_item += delta``."""
@@ -251,6 +260,33 @@ class TurnstileEstimator(SerializableState, abc.ABC):
     def space_bits(self) -> int:
         """Return the sketch size in bits under word-RAM accounting."""
 
+    # -- optional capabilities -----------------------------------------------------
+
+    def merge(self, other: "TurnstileEstimator") -> None:
+        """Merge another sketch of the same type/parameters/seed into this one.
+
+        Linear turnstile sketches (all of the library's L0 estimators)
+        override this with counter-wise modular addition; the default
+        refuses.  Merging two same-seed sketches fed disjoint streams is
+        bit-identical to one sketch fed the concatenation, which is what
+        the sharded ingestion engine (:mod:`repro.parallel`) relies on.
+        """
+        raise MergeError("%s does not support merging" % type(self).__name__)
+
+    def clear(self) -> None:
+        """Reset all accumulated counters, keeping the hash randomness.
+
+        After ``clear()`` the sketch is bit-identical to a freshly
+        constructed instance with the same parameters and seed.  Because
+        turnstile merges are *additive* (not idempotent like the F0
+        max/OR merges), the sharded ingestion engine clears each worker's
+        clone before feeding it its shard — otherwise a mid-stream
+        coordinator's prior state would be counted once per shard.
+        Subclasses with mergeable state override this; the default
+        refuses.
+        """
+        raise MergeError("%s does not support clearing" % type(self).__name__)
+
     # -- batch ingestion ------------------------------------------------------------
 
     def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
@@ -260,10 +296,15 @@ class TurnstileEstimator(SerializableState, abc.ABC):
         :meth:`CardinalityEstimator.update_batch` — exact equivalence with
         the per-update loop, order-sensitive application, integer
         sequences or NumPy arrays for both ``items`` and ``deltas``.  The
-        L0 sketches are dominated by per-row fingerprint arithmetic that
-        does not currently vectorize, so the base loop is also the only
-        implementation; the method exists so turnstile callers can be
-        written against the batch API uniformly.
+        library's L0 sketches are linear (every counter is a sum of
+        deltas modulo a fixed prime), so their vectorized overrides are
+        bit-identical to the scalar loop in every state word: hashes
+        evaluate once over the whole chunk and each touched counter pays
+        one exact modular fold of its chunk total (see
+        :meth:`repro.l0.knw_l0.KNWHammingNormEstimator.update_batch`).
+        Vectorized overrides validate the whole batch before any state is
+        mutated; this base (loop) implementation, like the scalar loop
+        itself, applies the prefix preceding the offending update.
         """
         if len(items) != len(deltas):
             raise UpdateError("update_batch requires as many deltas as items")

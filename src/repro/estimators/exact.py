@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from .base import CardinalityEstimator, TurnstileEstimator
+from ..vectorize import HAS_NUMPY, as_delta_array, as_key_array, np
+from .base import CardinalityEstimator, ItemBatch, TurnstileEstimator
 
 __all__ = ["ExactDistinctCounter", "ExactHammingNorm"]
 
@@ -78,6 +79,48 @@ class ExactHammingNorm(TurnstileEstimator):
             self._frequencies.pop(item, None)
         else:
             self._frequencies[item] = new_value
+
+    def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
+        """Apply a chunk of updates, summing per distinct item first.
+
+        The dictionary entry for an item is the plain sum of its deltas
+        (entries at zero are dropped), so folding one per-item chunk
+        total into the dictionary is bit-identical to the scalar loop.
+        """
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            return super().update_batch(items, deltas)
+        keys = as_key_array(items)
+        deltas = as_delta_array(deltas, expected_length=len(keys))
+        if keys.size == 0:
+            return
+        touched, inverse = np.unique(keys, return_inverse=True)
+        sums = np.zeros(len(touched), dtype=object)
+        np.add.at(sums, inverse, deltas.astype(object))
+        frequencies = self._frequencies
+        for item, delta_sum in zip(touched.tolist(), sums.tolist()):
+            item = int(item)
+            new_value = frequencies.get(item, 0) + int(delta_sum)
+            if new_value == 0:
+                frequencies.pop(item, None)
+            else:
+                frequencies[item] = new_value
+
+    def merge(self, other: "TurnstileEstimator") -> None:
+        """Add another exact counter's frequency vector into this one."""
+        if not isinstance(other, ExactHammingNorm):
+            from ..exceptions import MergeError
+
+            raise MergeError("can only merge ExactHammingNorm with its own kind")
+        for item, value in other._frequencies.items():
+            new_value = self._frequencies.get(item, 0) + value
+            if new_value == 0:
+                self._frequencies.pop(item, None)
+            else:
+                self._frequencies[item] = new_value
+
+    def clear(self) -> None:
+        """Drop the whole frequency dictionary."""
+        self._frequencies = {}
 
     def estimate(self) -> float:
         """Return the exact number of non-zero frequencies."""

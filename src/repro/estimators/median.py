@@ -180,11 +180,40 @@ class MedianTurnstileEstimator(TurnstileEstimator):
         self.requires_nonnegative_frequencies = any(
             copy.requires_nonnegative_frequencies for copy in self._copies
         )
+        self.shard_deterministic = all(
+            getattr(copy, "shard_deterministic", True) for copy in self._copies
+        )
 
     def update(self, item: int, delta: int) -> None:
         """Feed the update to every copy."""
         for copy in self._copies:
             copy.update(item, delta)
+
+    def merge(self, other: "TurnstileEstimator") -> None:
+        """Merge another median wrapper by merging the copies pairwise.
+
+        Same argument as :meth:`MedianEstimator.merge`: copy ``i`` of both
+        wrappers came from the same factory with the same repetition
+        index, so pairwise merging reproduces the single-node wrapper
+        over the concatenated stream.  Each pairwise merge validates the
+        copies' own compatibility (type, parameters, explicit seed).
+        """
+        if not isinstance(other, MedianTurnstileEstimator):
+            raise MergeError(
+                "can only merge MedianTurnstileEstimator with its own kind"
+            )
+        if other.repetitions != self.repetitions:
+            raise MergeError(
+                "cannot merge median wrappers with %d vs %d repetitions"
+                % (self.repetitions, other.repetitions)
+            )
+        for mine, theirs in zip(self._copies, other._copies):
+            mine.merge(theirs)
+
+    def clear(self) -> None:
+        """Clear every copy (see :meth:`TurnstileEstimator.clear`)."""
+        for copy in self._copies:
+            copy.clear()
 
     def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
         """Forward the whole batch of signed updates to every copy.

@@ -21,14 +21,37 @@ from __future__ import annotations
 
 import math
 import random
+import weakref
 from typing import List, Optional
 
 from ..bitstructs.space import SpaceBreakdown
-from ..exceptions import ParameterError
+from ..exceptions import MergeError, ParameterError
 from ..hashing.primes import random_prime
 from ..hashing.universal import PairwiseHash
+from ..vectorize import (
+    grouped_residue_sums,
+    mod_range,
+    mulmod_arrays,
+    np,
+    require_numpy,
+    residues_mod,
+)
 
 __all__ = ["FingerprintMatrix", "choose_fingerprint_prime"]
+
+#: Largest number of distinct delta residues for which the batched update
+#: precomputes the full ``bins x deltas`` weight-product table instead of
+#: multiplying per update (see :meth:`FingerprintMatrix.update_many`).
+_DELTA_TABLE_LIMIT = 16
+
+#: Per-matrix memo of the last weight-product table, keyed weakly by the
+#: matrix so it never enters the serialized state.  Streams re-use the
+#: same distinct delta residues chunk after chunk (typically just
+#: ``{1, p-1}``), so the ``bins x deltas`` Python-int multiply pass runs
+#: once per matrix instead of once per batch.  The entry records the
+#: weight list and prime it was built from; ``load_state_dict`` replaces
+#: both objects, which invalidates the memo automatically.
+_WEIGHT_TABLE_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def choose_fingerprint_prime(
@@ -125,6 +148,124 @@ class FingerprintMatrix:
         elif old != 0 and new == 0:
             self._nonzero_per_row[level] -= 1
         row[column] = new
+
+    def update_many(self, levels, columns, spread_keys, deltas) -> None:
+        """Apply a whole batch of fingerprint updates in vectorized passes.
+
+        The bulk form of :meth:`update`, and the inner loop of every
+        turnstile ``update_batch``: one batched ``h4`` evaluation selects
+        the weights, one exact batched multiply
+        (:func:`repro.vectorize.mulmod_arrays`) forms the per-update
+        contributions ``delta * u[h4(h2(i))] mod p``, and the
+        contributions are scatter-summed per touched cell
+        (:func:`repro.vectorize.grouped_residue_sums`) so each cell pays
+        one exact ``% p`` fold regardless of how many updates hit it.
+        Cell arithmetic is additive modulo ``p``, so the result is
+        bit-identical to the scalar loop in any order.
+
+        Args:
+            levels: ``int64`` array of rows (already clamped by the caller,
+                as in the scalar path).
+            columns: array of columns in ``[0, bins)``.
+            spread_keys: the ``h2(item)`` values feeding ``h4``.
+            deltas: signed frequency changes (``int64`` or object array).
+        """
+        require_numpy("FingerprintMatrix.update_many")
+        count = len(levels)
+        if count == 0:
+            return
+        prime = self.prime
+        weight_keys = mod_range(spread_keys, self._h4.universe_size)
+        weight_index = self._h4.hash_batch_validated(weight_keys)
+        if weight_index.dtype == object:
+            weight_index = weight_index.astype(np.int64)
+        else:
+            weight_index = weight_index.astype(np.int64, copy=False)
+        residues = residues_mod(deltas, prime)
+        delta_values, delta_rank = np.unique(residues, return_inverse=True)
+        if len(delta_values) <= _DELTA_TABLE_LIMIT and prime < (1 << 63):
+            # Real turnstile streams carry a handful of distinct deltas
+            # (usually just +1/-1), so the ``delta * u[j] mod p`` products
+            # collapse to a ``bins x distinct-deltas`` table of exact
+            # Python-int multiplies, gathered back over the batch — this
+            # keeps even the large Lemma 6 primes (beyond the word-level
+            # Barrett range) entirely in ``uint64`` lanes.
+            span = len(delta_values)
+            key = tuple(int(value) for value in delta_values.tolist())
+            memo = _WEIGHT_TABLE_MEMO.get(self)
+            if memo is not None and memo[0] is self._weights and memo[1:3] == (
+                prime,
+                key,
+            ):
+                table = memo[3]
+            else:
+                table = np.empty(self.bins * span, dtype=np.uint64)
+                table[:] = [
+                    (weight * value) % prime
+                    for weight in self._weights
+                    for value in key
+                ]
+                _WEIGHT_TABLE_MEMO[self] = (self._weights, prime, key, table)
+            contributions = table[weight_index * span + delta_rank]
+        else:
+            if prime < (1 << 63):
+                weights = np.asarray(self._weights, dtype=np.uint64)
+            else:  # pragma: no cover - primes this large need object arithmetic
+                weights = np.empty(len(self._weights), dtype=object)
+                weights[:] = self._weights
+            contributions = mulmod_arrays(
+                weights[weight_index], residues, prime, prime
+            )
+        if columns.dtype == object:
+            columns = columns.astype(np.int64)
+        cells = np.asarray(levels, dtype=np.int64) * np.int64(self.bins) + columns.astype(
+            np.int64, copy=False
+        )
+        touched, inverse = np.unique(cells, return_inverse=True)
+        totals = grouped_residue_sums(inverse, len(touched), contributions, prime)
+        bins = self.bins
+        for cell, total in zip(touched.tolist(), totals):
+            level, column = divmod(int(cell), bins)
+            row = self._cells[level]
+            old = row[column]
+            new = (old + total) % prime
+            if old == 0 and new != 0:
+                self._nonzero_per_row[level] += 1
+            elif old != 0 and new == 0:
+                self._nonzero_per_row[level] -= 1
+            row[column] = new
+
+    def merge(self, other: "FingerprintMatrix") -> None:
+        """Add another same-construction matrix into this one, cell-wise.
+
+        Fingerprint counters are *linear*: each cell is a sum over the
+        updates hashed to it modulo ``p``, so two matrices built with the
+        same randomness (prime, weight vector, ``h4``) and fed disjoint
+        streams combine by cell-wise modular addition into exactly the
+        matrix one instance would hold after the concatenated stream.
+        """
+        if not isinstance(other, FingerprintMatrix):
+            raise MergeError("can only merge FingerprintMatrix with its own kind")
+        if (
+            other.levels != self.levels
+            or other.bins != self.bins
+            or other.prime != self.prime
+            or other._weights != self._weights
+        ):
+            raise MergeError(
+                "FingerprintMatrix merge requires identical shape, prime, and weights"
+            )
+        prime = self.prime
+        for level in range(self.levels):
+            mine, theirs = self._cells[level], other._cells[level]
+            merged = [(a + b) % prime for a, b in zip(mine, theirs)]
+            self._cells[level] = merged
+            self._nonzero_per_row[level] = sum(1 for value in merged if value)
+
+    def clear(self) -> None:
+        """Zero every cell, keeping the prime, weights, and ``h4``."""
+        self._cells = [[0] * self.bins for _ in range(self.levels)]
+        self._nonzero_per_row = [0] * self.levels
 
     def is_occupied(self, level: int, column: int) -> bool:
         """Return True when the cell's fingerprint is non-zero."""

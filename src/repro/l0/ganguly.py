@@ -29,10 +29,11 @@ from typing import List, Optional, Tuple
 from ..bitstructs.space import SpaceBreakdown
 from ..core.balls_bins import invert_occupancy
 from ..core.knw import bins_for_eps
-from ..estimators.base import TurnstileEstimator
-from ..exceptions import ParameterError
-from ..hashing.bitops import lsb
+from ..estimators.base import ItemBatch, TurnstileEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.bitops import lsb, lsb_batch
 from ..hashing.universal import PairwiseHash
+from ..vectorize import HAS_NUMPY, as_delta_array, as_key_array, np
 
 __all__ = ["GangulyStyleL0Estimator"]
 
@@ -102,6 +103,7 @@ class GangulyStyleL0Estimator(TurnstileEstimator):
         self.eps = eps
         self.magnitude_bound = magnitude_bound
         self.bins = bins if bins is not None else bins_for_eps(eps)
+        self.seed = seed
         rng = random.Random(seed)
         self._level_limit = max((universe_size - 1).bit_length(), 1)
         self.levels = self._level_limit + 1
@@ -120,6 +122,100 @@ class GangulyStyleL0Estimator(TurnstileEstimator):
         level = min(lsb(self._h_level(item), zero_value=self._level_limit), self.levels - 1)
         bucket = self._h_bucket(item)
         self._cells[level][bucket].apply(item, delta)
+
+    def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
+        """Apply a chunk of updates through vectorized passes.
+
+        Both hashes and the ``lsb`` level extraction run once over the
+        whole chunk; the three per-cell moment sums (``delta``,
+        ``delta * item``, ``delta * item^2``) are scatter-summed per
+        touched cell and folded in with plain integer addition.  Cell
+        statistics are plain (unreduced) sums, so the result is
+        bit-identical to the scalar loop in any order.  The moment sums
+        run in ``int64`` whenever a proven bound keeps every partial sum
+        in range, and fall back to exact big-int (object-array)
+        accumulation otherwise.
+        """
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            return super().update_batch(items, deltas)
+        keys = as_key_array(items, self.universe_size)
+        deltas = as_delta_array(deltas, expected_length=len(keys))
+        if keys.size == 0:
+            return
+        levels = lsb_batch(
+            self._h_level.hash_batch_validated(keys), zero_value=self._level_limit
+        )
+        levels = np.minimum(levels, np.int64(self.levels - 1))
+        buckets = self._h_bucket.hash_batch_validated(keys)
+        if buckets.dtype == object:
+            buckets = buckets.astype(np.int64)
+        cells = levels * np.int64(self.bins) + buckets.astype(np.int64, copy=False)
+        touched, inverse = np.unique(cells, return_inverse=True)
+
+        exact = keys.dtype == object or deltas.dtype == object
+        if not exact:
+            item_peak = int(keys.max())
+            delta_peak = max(abs(int(deltas.min())), abs(int(deltas.max())))
+            # Every partial product and every running sum must stay inside
+            # int64; the crude product bound below is conservative but
+            # cheap to check.
+            exact = (
+                delta_peak * max(item_peak, 1) ** 2 * len(keys) >= (1 << 62)
+            )
+        if exact:
+            signed = np.empty(len(keys), dtype=object)
+            signed[:] = [int(delta) for delta in deltas.tolist()]
+            identifiers = np.empty(len(keys), dtype=object)
+            identifiers[:] = [int(key) for key in keys.tolist()]
+            zeros = lambda: np.zeros(len(touched), dtype=object)  # noqa: E731
+        else:
+            signed = deltas.astype(np.int64, copy=False)
+            identifiers = keys.astype(np.int64)
+            zeros = lambda: np.zeros(len(touched), dtype=np.int64)  # noqa: E731
+        count_sums, id_sums, id_square_sums = zeros(), zeros(), zeros()
+        np.add.at(count_sums, inverse, signed)
+        weighted = signed * identifiers
+        np.add.at(id_sums, inverse, weighted)
+        np.add.at(id_square_sums, inverse, weighted * identifiers)
+        bins = self.bins
+        for position, cell in enumerate(touched.tolist()):
+            level, bucket = divmod(int(cell), bins)
+            target = self._cells[level][bucket]
+            target.count += int(count_sums[position])
+            target.id_sum += int(id_sums[position])
+            target.id_square_sum += int(id_square_sums[position])
+
+    def merge(self, other: "TurnstileEstimator") -> None:
+        """Merge another same-seed estimator into this one (stream union).
+
+        Each cell's statistics are plain sums over the updates hashed to
+        it, so same-seed sketches fed disjoint streams combine by
+        cell-wise addition into exactly the single-sketch state.
+        """
+        if not isinstance(other, GangulyStyleL0Estimator):
+            raise MergeError(
+                "can only merge GangulyStyleL0Estimator with its own kind"
+            )
+        if (
+            other.universe_size != self.universe_size
+            or other.bins != self.bins
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError(
+                "Ganguly sketches must share parameters and an explicit seed"
+            )
+        for level in range(self.levels):
+            for mine, theirs in zip(self._cells[level], other._cells[level]):
+                mine.count += theirs.count
+                mine.id_sum += theirs.id_sum
+                mine.id_square_sum += theirs.id_square_sum
+
+    def clear(self) -> None:
+        """Zero every cell's statistics, keeping the hash functions."""
+        self._cells = [
+            [_Cell() for _ in range(self.bins)] for _ in range(self.levels)
+        ]
 
     def _row_statistics(self, level: int) -> Tuple[int, int]:
         """Return (non-empty cells, singleton cells) for one level."""

@@ -28,11 +28,12 @@ from typing import Optional
 from ..bitstructs.space import SpaceBreakdown
 from ..core.balls_bins import invert_occupancy
 from ..core.knw import bins_for_eps
-from ..estimators.base import TurnstileEstimator
-from ..exceptions import ParameterError
-from ..hashing.bitops import lsb
+from ..estimators.base import ItemBatch, TurnstileEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.bitops import lsb, lsb_batch
 from ..hashing.kwise import KWiseHash, required_independence
 from ..hashing.universal import PairwiseHash
+from ..vectorize import HAS_NUMPY, as_delta_array, as_key_array, mod_range, np
 from .fingerprint import FingerprintMatrix
 from .rough_l0 import RoughL0Estimator
 from .small_l0 import SmallL0Recovery
@@ -111,6 +112,7 @@ class KNWHammingNormEstimator(TurnstileEstimator):
         self.magnitude_bound = magnitude_bound
         self.bins = bins if bins is not None else bins_for_eps(eps)
         self.row_selection = row_selection
+        self.seed = seed
         rng = random.Random(seed)
 
         self._level_limit = max((universe_size - 1).bit_length(), 1)
@@ -158,6 +160,88 @@ class KNWHammingNormEstimator(TurnstileEstimator):
         self._small_row.update(0, extended_column, spread, delta)
         self._small_exact.update(item, delta)
         self.rough.update(item, delta)
+
+    def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
+        """Apply a chunk of turnstile updates through the vectorized pipeline.
+
+        The batch counterpart of :meth:`update`, bit-identical in every
+        state word (all four components are additive modulo their primes,
+        so batching is pure throughput):
+
+        * ``h2``/``h3``/``h1`` evaluate once over the whole chunk via the
+          batched Carter--Wegman kernels (:mod:`repro.vectorize`), with the
+          level extraction as one vectorized de Bruijn ``lsb`` pass;
+        * the subsampled matrix and the unsampled ``2K`` row ingest the
+          chunk through :meth:`FingerprintMatrix.update_many
+          <repro.l0.fingerprint.FingerprintMatrix.update_many>` (batched
+          weight selection, exact batched multiply, one ``% p`` fold per
+          touched cell);
+        * the Lemma 8 exact structure and the rough estimator take their
+          own batched paths.
+
+        The whole chunk is validated before any component is mutated, so a
+        rejected batch leaves the sketch untouched; zero deltas are
+        skipped, exactly as the scalar update skips them.
+        """
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            return super().update_batch(items, deltas)
+        keys = as_key_array(items, self.universe_size)
+        deltas = as_delta_array(deltas, expected_length=len(keys))
+        live = np.asarray(deltas != 0, dtype=bool)
+        if not live.all():
+            keys = keys[live]
+            deltas = deltas[live]
+        if keys.size == 0:
+            return
+        spread = self._h2.hash_batch_validated(keys)
+        extended_columns = self._h3.hash_batch_validated(spread)
+        levels = lsb_batch(
+            self._h1.hash_batch_validated(keys), zero_value=self._level_limit
+        )
+        levels = np.minimum(levels, np.int64(self._matrix.levels - 1))
+        columns = mod_range(extended_columns, self.bins)
+        self._matrix.update_many(levels, columns, spread, deltas)
+        self._small_row.update_many(
+            np.zeros(len(levels), dtype=np.int64), extended_columns, spread, deltas
+        )
+        self._small_exact.update_batch(keys, deltas)
+        self.rough.update_batch(keys, deltas)
+
+    def merge(self, other: "TurnstileEstimator") -> None:
+        """Merge another same-seed estimator into this one (stream union).
+
+        Every component is a linear sketch — fingerprint cells and Lemma 8
+        buckets are sums of deltas modulo their primes — so component-wise
+        merging of two same-seed sketches fed disjoint streams is
+        bit-identical to one sketch fed the concatenation.  This is what
+        makes the KNW L0 sketch shardable (:mod:`repro.parallel`).
+        """
+        if not isinstance(other, KNWHammingNormEstimator):
+            raise MergeError(
+                "can only merge KNWHammingNormEstimator with its own kind"
+            )
+        if (
+            other.universe_size != self.universe_size
+            or other.bins != self.bins
+            or other.magnitude_bound != self.magnitude_bound
+            or other.row_selection != self.row_selection
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError(
+                "KNW L0 sketches must share parameters and an explicit seed"
+            )
+        self._matrix.merge(other._matrix)
+        self._small_row.merge(other._small_row)
+        self._small_exact.merge(other._small_exact)
+        self.rough.merge(other.rough)
+
+    def clear(self) -> None:
+        """Zero every component's counters, keeping all hash randomness."""
+        self._matrix.clear()
+        self._small_row.clear()
+        self._small_exact.clear()
+        self.rough.clear()
 
     # -- reporting -------------------------------------------------------------------
 

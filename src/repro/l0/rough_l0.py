@@ -20,10 +20,11 @@ import random
 from typing import List, Optional
 
 from ..bitstructs.space import SpaceBreakdown
-from ..estimators.base import TurnstileEstimator
-from ..exceptions import ParameterError
-from ..hashing.bitops import lsb, msb
+from ..estimators.base import ItemBatch, TurnstileEstimator
+from ..exceptions import MergeError, ParameterError
+from ..hashing.bitops import lsb, lsb_batch, msb
 from ..hashing.universal import PairwiseHash
+from ..vectorize import HAS_NUMPY, as_delta_array, as_key_array, np, residues_mod
 from .small_l0 import SmallL0Recovery, make_trial_hashes, trials_for_failure_probability
 
 __all__ = ["RoughL0Estimator", "ROUGH_L0_CAPACITY", "ROUGH_L0_THRESHOLD", "ROUGH_L0_FACTOR"]
@@ -73,6 +74,7 @@ class RoughL0Estimator(TurnstileEstimator):
         self.universe_size = universe_size
         self.magnitude_bound = magnitude_bound
         self.capacity = capacity
+        self.seed = seed
         self._level_limit = max((universe_size - 1).bit_length(), 1)
         self.levels = self._level_limit + 1
         self._splitter = PairwiseHash(universe_size, universe_size, rng=rng)
@@ -108,6 +110,70 @@ class RoughL0Estimator(TurnstileEstimator):
             self._live_word |= 1 << level
         else:
             self._live_word &= ~(1 << level)
+
+    def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
+        """Route a whole chunk of updates through vectorized passes.
+
+        The splitter hash and the ``lsb`` level extraction run once over
+        the batch; updates are then grouped by level and each touched
+        level's Lemma 8 structure ingests its group through the shared
+        scatter-sum path.  The live-level word is recomputed from the
+        touched levels' final ``exceeds`` answers, which equals the
+        scalar loop's last write per level.
+        """
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            return super().update_batch(items, deltas)
+        keys = as_key_array(items, self.universe_size)
+        deltas = as_delta_array(deltas, expected_length=len(keys))
+        if keys.size == 0:
+            return
+        levels = lsb_batch(
+            self._splitter.hash_batch_validated(keys), zero_value=self._level_limit
+        )
+        levels = np.minimum(levels, np.int64(self.levels - 1))
+        for level in np.unique(levels).tolist():
+            group = levels == level
+            recovery = self._per_level[int(level)]
+            residues = residues_mod(deltas[group], recovery.prime)
+            recovery._apply_residues(keys[group], residues)
+            if recovery.exceeds(ROUGH_L0_THRESHOLD):
+                self._live_word |= 1 << int(level)
+            else:
+                self._live_word &= ~(1 << int(level))
+
+    def merge(self, other: "TurnstileEstimator") -> None:
+        """Merge another same-seed rough estimator into this one.
+
+        All per-level Lemma 8 structures are linear, so they merge
+        counter-wise; the live-level word is then recomputed from the
+        merged structures.  Requires identical parameters and an explicit
+        shared seed (the per-level structures verify the actual hash
+        randomness matches as well).
+        """
+        if not isinstance(other, RoughL0Estimator):
+            raise MergeError("can only merge RoughL0Estimator with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.capacity != self.capacity
+            or other.levels != self.levels
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise MergeError(
+                "RoughL0Estimator merge requires identical parameters and an "
+                "explicit shared seed"
+            )
+        self._live_word = 0
+        for level, (mine, theirs) in enumerate(zip(self._per_level, other._per_level)):
+            mine.merge(theirs)
+            if mine.exceeds(ROUGH_L0_THRESHOLD):
+                self._live_word |= 1 << level
+
+    def clear(self) -> None:
+        """Zero every level's counters, keeping all hash randomness."""
+        for recovery in self._per_level:
+            recovery.clear()
+        self._live_word = 0
 
     def deepest_live_level(self) -> int:
         """Return the deepest level reporting more than 8 items, or -1."""

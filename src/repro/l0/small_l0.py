@@ -27,10 +27,18 @@ import random
 from typing import List, Optional, Sequence
 
 from ..bitstructs.space import SpaceBreakdown
-from ..estimators.base import TurnstileEstimator
-from ..exceptions import ParameterError
+from ..estimators.base import ItemBatch, TurnstileEstimator
+from ..exceptions import MergeError, ParameterError
 from ..hashing.primes import random_prime
 from ..hashing.universal import PairwiseHash
+from ..vectorize import (
+    HAS_NUMPY,
+    as_delta_array,
+    as_key_array,
+    grouped_residue_sums,
+    np,
+    residues_mod,
+)
 
 __all__ = ["SmallL0Recovery", "make_trial_hashes", "choose_small_prime"]
 
@@ -116,6 +124,7 @@ class SmallL0Recovery(TurnstileEstimator):
         self.universe_size = universe_size
         self.capacity = capacity
         self.magnitude_bound = magnitude_bound
+        self.seed = seed
         self.buckets = buckets if buckets is not None else capacity * capacity
         self.prime = prime if prime is not None else choose_small_prime(
             magnitude_bound, rng=rng
@@ -155,6 +164,110 @@ class SmallL0Recovery(TurnstileEstimator):
             elif old != 0 and new == 0:
                 self._nonzero[trial] -= 1
             row[bucket] = new
+
+    def update_batch(self, items: ItemBatch, deltas: ItemBatch) -> None:
+        """Apply a chunk of signed updates through vectorized passes.
+
+        One batched hash evaluation per trial replaces ``trials`` Python
+        hash calls per update, and each trial's bucket deltas are
+        scatter-summed once per touched bucket
+        (:func:`repro.vectorize.grouped_residue_sums`).  Bucket counters
+        are additive modulo the trial prime, so the state is bit-identical
+        to the scalar loop; the whole batch is validated before any trial
+        is mutated.
+        """
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            return super().update_batch(items, deltas)
+        keys = as_key_array(items, self.universe_size)
+        deltas = as_delta_array(deltas, expected_length=len(keys))
+        if keys.size == 0:
+            return
+        prime = self.prime
+        residues = residues_mod(deltas, prime)
+        self._apply_residues(keys, residues)
+
+    def _apply_residues(self, keys, residues) -> None:
+        """Scatter pre-reduced per-update residues into every trial.
+
+        Batches that blanket the bucket array take a *dense* path — one
+        ``np.add.at`` scatter into a full-width accumulator, one
+        vectorized ``(row + sums) % p`` fold, one ``count_nonzero`` —
+        while small batches keep the sparse per-touched-bucket fold.
+        Both are exact (the dense path is guarded so no ``uint64`` lane
+        can overflow) and bit-identical to the scalar loop.
+        """
+        prime = self.prime
+        dense = (
+            residues.dtype != object
+            # Bucket sums stay below len * prime and the fold below
+            # 2^63 + prime, so uint64 lanes cannot overflow.
+            and prime < (1 << 31)
+            and len(keys) < (1 << 31)
+            and 2 * len(keys) >= self.buckets
+        )
+        for trial, hash_function in enumerate(self._hashes):
+            buckets = hash_function.hash_batch_validated(keys)
+            if buckets.dtype == object:
+                buckets = buckets.astype(np.int64)
+            if dense:
+                sums = np.zeros(self.buckets, dtype=np.uint64)
+                np.add.at(sums, buckets, residues)
+                row = np.asarray(self._counters[trial], dtype=np.uint64)
+                merged = (row + sums) % np.uint64(prime)
+                self._counters[trial] = [int(value) for value in merged.tolist()]
+                self._nonzero[trial] = int(np.count_nonzero(merged))
+                continue
+            touched, inverse = np.unique(buckets, return_inverse=True)
+            totals = grouped_residue_sums(inverse, len(touched), residues, prime)
+            row = self._counters[trial]
+            nonzero = self._nonzero[trial]
+            for bucket, total in zip(touched.tolist(), totals):
+                bucket = int(bucket)
+                old = row[bucket]
+                new = (old + total) % prime
+                if old == 0 and new != 0:
+                    nonzero += 1
+                elif old != 0 and new == 0:
+                    nonzero -= 1
+                row[bucket] = new
+            self._nonzero[trial] = nonzero
+
+    def merge(self, other: "TurnstileEstimator") -> None:
+        """Add another same-randomness recovery structure into this one.
+
+        The bucket counters are linear (sums of deltas modulo the trial
+        prime), so counter-wise modular addition of two structures built
+        with the same prime and trial hashes — and fed disjoint streams —
+        reproduces exactly the structure one instance would hold after
+        the concatenated stream.
+        """
+        if not isinstance(other, SmallL0Recovery):
+            raise MergeError("can only merge SmallL0Recovery with its own kind")
+        if (
+            other.universe_size != self.universe_size
+            or other.capacity != self.capacity
+            or other.buckets != self.buckets
+            or other.prime != self.prime
+            or other.trials != self.trials
+            or any(
+                (a._a, a._b, a._prime) != (b._a, b._b, b._prime)
+                for a, b in zip(self._hashes, other._hashes)
+            )
+        ):
+            raise MergeError(
+                "SmallL0Recovery merge requires identical parameters and hashes"
+            )
+        prime = self.prime
+        for trial in range(self.trials):
+            mine, theirs = self._counters[trial], other._counters[trial]
+            merged = [(a + b) % prime for a, b in zip(mine, theirs)]
+            self._counters[trial] = merged
+            self._nonzero[trial] = sum(1 for value in merged if value)
+
+    def clear(self) -> None:
+        """Zero every bucket counter, keeping the prime and trial hashes."""
+        self._counters = [[0] * self.buckets for _ in range(self.trials)]
+        self._nonzero = [0] * self.trials
 
     def estimate(self) -> float:
         """Return the maximum non-zero-bucket count across trials.

@@ -40,8 +40,13 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from . import serialize
-from .estimators.base import CardinalityEstimator
-from .estimators.registry import f0_algorithm_names, make_f0_estimator
+from .estimators.base import CardinalityEstimator, TurnstileEstimator
+from .estimators.registry import (
+    f0_algorithm_names,
+    l0_algorithm_names,
+    make_f0_estimator,
+    make_l0_estimator,
+)
 from .exceptions import ParameterError
 from .streams.model import MaterializedStream
 from .vectorize import HAS_NUMPY, np
@@ -49,10 +54,15 @@ from .vectorize import HAS_NUMPY, np
 __all__ = [
     "DEFAULT_SHARD_BATCH",
     "shard_items",
+    "shard_updates",
     "parallel_merge_shards",
+    "parallel_merge_update_shards",
     "parallel_ingest_into",
+    "parallel_ingest_updates_into",
     "parallel_ingest_f0",
+    "parallel_ingest_l0",
     "mergeable_f0_names",
+    "mergeable_l0_names",
     "default_workers",
 ]
 
@@ -72,8 +82,9 @@ def _as_items(source: ItemSource):
     if isinstance(source, MaterializedStream):
         if not source.is_insertion_only():
             raise ParameterError(
-                "sharded ingestion is defined for insertion-only streams "
-                "(turnstile sketches do not expose merge)"
+                "item sharding is defined for insertion-only streams; "
+                "use shard_updates / parallel_merge_update_shards for "
+                "turnstile streams"
             )
         return source.item_array()
     if HAS_NUMPY and not isinstance(source, np.ndarray):
@@ -109,7 +120,9 @@ def shard_items(items: ItemSource, shards: int) -> List[Any]:
     return slices
 
 
-def _supports_merge(estimator: CardinalityEstimator) -> bool:
+def _supports_merge(estimator) -> bool:
+    if isinstance(estimator, TurnstileEstimator):
+        return type(estimator).merge is not TurnstileEstimator.merge
     return type(estimator).merge is not CardinalityEstimator.merge
 
 
@@ -307,6 +320,240 @@ def parallel_ingest_f0(
     )
 
 
+# ---------------------------------------------------------------------------
+# Turnstile (L0) sharded ingestion.
+#
+# The library's L0 sketches are *linear*: every counter is a sum of deltas
+# modulo a fixed prime, and all hash functions are drawn eagerly at
+# construction.  Same-seed sketches fed disjoint update shards therefore
+# merge (counter-wise modular addition) into exactly the sketch one
+# instance would hold after the concatenated stream — the same
+# shard / worker-ingest / serialized-transport / merge-reduce dataflow as
+# the F0 engine, now for signed ``(item, delta)`` updates.
+# ---------------------------------------------------------------------------
+
+UpdateShard = Tuple[Any, Any]
+
+
+def _as_update_arrays(source) -> UpdateShard:
+    """Return ``(items, deltas)`` arrays for a turnstile source."""
+    if isinstance(source, MaterializedStream):
+        return source.item_array(), source.delta_array()
+    items, deltas = source
+    if HAS_NUMPY:
+        if not isinstance(items, np.ndarray):
+            items = np.asarray(items)
+        if not isinstance(deltas, np.ndarray):
+            deltas = np.asarray(deltas)
+    if len(items) != len(deltas):
+        raise ParameterError("turnstile sources need as many deltas as items")
+    return items, deltas
+
+
+def shard_updates(source, shards: int) -> List[UpdateShard]:
+    """Partition a turnstile stream into ``shards`` contiguous update slices.
+
+    The L0 counterpart of :func:`shard_items`: each shard is an
+    ``(items, deltas)`` pair of aligned slices (NumPy views — sharding
+    never copies the stream).
+
+    Args:
+        source: a materialized stream, or an ``(items, deltas)`` pair of
+            aligned integer sequences/arrays.
+        shards: positive shard count.
+    """
+    if shards <= 0:
+        raise ParameterError("shard count must be positive")
+    items, deltas = _as_update_arrays(source)
+    total = len(items)
+    base, surplus = divmod(total, shards)
+    slices: List[UpdateShard] = []
+    start = 0
+    for index in range(shards):
+        length = base + (1 if index < surplus else 0)
+        slices.append(
+            (items[start : start + length], deltas[start : start + length])
+        )
+        start += length
+    return slices
+
+
+def _feed_updates(
+    estimator: TurnstileEstimator, shard: UpdateShard, batch_size: Optional[int]
+) -> None:
+    items, deltas = shard
+    if batch_size is None:
+        item_values = items.tolist() if hasattr(items, "tolist") else items
+        delta_values = deltas.tolist() if hasattr(deltas, "tolist") else deltas
+        for item, delta in zip(item_values, delta_values):
+            estimator.update(int(item), int(delta))
+        return
+    if batch_size <= 0:
+        raise ParameterError("batch_size must be positive")
+    for start in range(0, len(items), batch_size):
+        estimator.update_batch(
+            items[start : start + batch_size], deltas[start : start + batch_size]
+        )
+
+
+def _ingest_update_shard_worker(
+    payload: Tuple[bytes, UpdateShard, Optional[int]]
+) -> bytes:
+    """Worker body for one turnstile shard.
+
+    Unlike the F0 worker, the revived clone is *cleared* before ingesting:
+    turnstile merges are additive (not idempotent max/OR reductions), so a
+    mid-stream coordinator's prior state must be contributed exactly once
+    — by the coordinator itself — not re-counted by every shard.  The
+    clone still carries the template's hash randomness, which ``clear``
+    preserves.
+    """
+    template, shard, batch_size = payload
+    estimator = serialize.loads(template)
+    estimator.clear()
+    _feed_updates(estimator, shard, batch_size)
+    return estimator.to_bytes()
+
+
+def parallel_merge_update_shards(
+    estimator: TurnstileEstimator,
+    shards: Sequence[UpdateShard],
+    workers: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    execution: Optional[str] = None,
+    executor: Optional[Executor] = None,
+) -> TurnstileEstimator:
+    """Ingest caller-partitioned turnstile shards via merge-reduce.
+
+    Same contract and execution modes as :func:`parallel_merge_shards`,
+    for signed update shards: each ``(items, deltas)`` shard is ingested
+    by a worker into an *empty* same-randomness clone of ``estimator``
+    (turnstile merges are additive, so — unlike the idempotent F0
+    reductions — the coordinator's existing state must enter the sum
+    exactly once) through the vectorized turnstile ``update_batch``
+    pipeline, and the shard sketches merge back in shard order.  For
+    every library L0 sketch the result is bit-identical to sequential
+    ingestion (linear sketches, eagerly drawn hashes — see
+    ``TurnstileEstimator.shard_deterministic``), including mid-stream
+    take-over of an already-started coordinator sketch.
+    """
+    work = [shard for shard in shards if len(shard[0]) > 0]
+    if not work:
+        return estimator
+    if len(work) == 1:
+        _feed_updates(estimator, work[0], batch_size)
+        return estimator
+    if not _supports_merge(estimator):
+        raise ParameterError(
+            "%s does not support merge; sharded ingestion needs a mergeable sketch"
+            % type(estimator).__name__
+        )
+    _require_explicit_seed(estimator)
+
+    template = estimator.to_bytes()
+    payloads = [(template, shard, batch_size) for shard in work]
+    if executor is not None:
+        blobs = list(executor.map(_ingest_update_shard_worker, payloads))
+    else:
+        if workers is None:
+            workers = default_workers()
+        if workers <= 0:
+            raise ParameterError("workers must be positive")
+        workers = min(workers, len(work))
+        if execution is None:
+            execution = "processes" if workers > 1 else "inline"
+        if execution not in ("processes", "inline"):
+            raise ParameterError("execution must be 'processes' or 'inline'")
+        if execution == "processes":
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                blobs = list(pool.map(_ingest_update_shard_worker, payloads))
+        else:
+            blobs = [_ingest_update_shard_worker(payload) for payload in payloads]
+    for blob in blobs:
+        estimator.merge(serialize.loads(blob))
+    return estimator
+
+
+def parallel_ingest_updates_into(
+    estimator: TurnstileEstimator,
+    source,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    execution: Optional[str] = None,
+    executor: Optional[Executor] = None,
+) -> TurnstileEstimator:
+    """Shard a turnstile stream and ingest it into ``estimator``.
+
+    The L0 counterpart of :func:`parallel_ingest_into`: equivalent to
+    ``parallel_merge_update_shards(estimator, shard_updates(source,
+    shards or workers), ...)``, with the one-shard case degenerating to a
+    plain batched feed.
+    """
+    if workers is None and shards is None:
+        workers = default_workers()
+    count = shards if shards is not None else workers
+    return parallel_merge_update_shards(
+        estimator,
+        shard_updates(source, count),
+        workers=workers,
+        batch_size=batch_size,
+        execution=execution,
+        executor=executor,
+    )
+
+
+def parallel_ingest_l0(
+    algorithm: str,
+    source,
+    eps: float,
+    seed: int,
+    universe_size: Optional[int] = None,
+    magnitude_bound: Optional[int] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    execution: Optional[str] = None,
+) -> TurnstileEstimator:
+    """Build a registered L0 estimator and ingest a turnstile stream sharded.
+
+    Args:
+        algorithm: registry name (see :func:`repro.estimators.registry
+            .l0_algorithm_names`).
+        source: a materialized turnstile stream, or an ``(items, deltas)``
+            pair (then ``universe_size`` is required).
+        eps: target relative error.
+        seed: estimator seed; must be explicit so shard sketches share
+            hash functions.
+        universe_size: universe bound when ``source`` is a raw pair.
+        magnitude_bound: upper bound on ``mM``; derived from the stream
+            (``len * max|delta|``) when omitted, as in the analysis runner.
+        workers / shards / batch_size / execution: as in
+            :func:`parallel_ingest_into`.
+    """
+    if seed is None:
+        raise ParameterError("parallel_ingest_l0 requires an explicit seed")
+    if isinstance(source, MaterializedStream):
+        universe_size = source.universe_size
+        if magnitude_bound is None:
+            magnitude_bound = max(len(source) * source.max_update_magnitude(), 1)
+    elif universe_size is None:
+        raise ParameterError("universe_size is required for raw update pairs")
+    if magnitude_bound is None:
+        items, deltas = _as_update_arrays(source)
+        peak = max((abs(int(delta)) for delta in deltas), default=1)
+        magnitude_bound = max(len(items) * peak, 1)
+    estimator = make_l0_estimator(algorithm, universe_size, eps, magnitude_bound, seed)
+    return parallel_ingest_updates_into(
+        estimator,
+        source,
+        workers=workers,
+        shards=shards,
+        batch_size=batch_size,
+        execution=execution,
+    )
+
+
 _MERGEABLE_CACHE: Optional[Dict[str, bool]] = None
 _DETERMINISTIC_CACHE: Dict[str, bool] = {}
 
@@ -341,3 +588,25 @@ def mergeable_f0_names(shard_deterministic_only: bool = False) -> List[str]:
     if shard_deterministic_only:
         names = [name for name in names if _DETERMINISTIC_CACHE[name]]
     return names
+
+
+_L0_MERGEABLE_CACHE: Optional[Dict[str, bool]] = None
+
+
+def mergeable_l0_names() -> List[str]:
+    """Return the registered L0 algorithms usable with sharded ingestion.
+
+    Every mergeable L0 sketch in the library is linear with eagerly drawn
+    hash functions, so — unlike the F0 side — sharded ingest is always
+    *bit-identical* to sequential ingest (no ``shard_deterministic_only``
+    filter is needed; see ``TurnstileEstimator.shard_deterministic``).
+    """
+    global _L0_MERGEABLE_CACHE
+    if _L0_MERGEABLE_CACHE is None:
+        _L0_MERGEABLE_CACHE = {
+            name: _supports_merge(
+                make_l0_estimator(name, 1 << 12, 0.25, 1 << 10, seed=0)
+            )
+            for name in l0_algorithm_names()
+        }
+    return [name for name, able in sorted(_L0_MERGEABLE_CACHE.items()) if able]

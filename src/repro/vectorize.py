@@ -33,7 +33,7 @@ no primitive is allowed to trade correctness for speed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from .exceptions import ParameterError
 
@@ -47,6 +47,9 @@ __all__ = [
     "HAS_NUMPY",
     "require_numpy",
     "as_key_array",
+    "as_delta_array",
+    "residues_mod",
+    "grouped_residue_sums",
     "mulmod",
     "affine_mod",
     "mod_range",
@@ -118,14 +121,10 @@ def as_key_array(
             keys = items.astype(np.uint64)
     else:
         try:
-            # Explicit negativity check first: NumPy < 2.0 silently *wraps*
-            # negative Python ints into uint64 instead of raising, which
-            # could smuggle a wrapped key past the range check below.
-            if len(items) and min(items) < 0:
-                raise ParameterError("item identifiers must be non-negative")
-            keys = np.asarray(items, dtype=np.uint64)
-        except ParameterError:
-            raise
+            # Infer the dtype first so a float anywhere in the sequence is
+            # *rejected*, not silently truncated by a uint64 cast, and so
+            # negative Python ints stay signed instead of wrapping.
+            inferred = np.asarray(items)
         except (TypeError, ValueError, OverflowError) as exc:
             if universe_size is not None and universe_size > (1 << 64):
                 # Giant universes: keep exact Python ints in an object array.
@@ -135,6 +134,20 @@ def as_key_array(
                 raise ParameterError(
                     "batch items must be non-negative integers"
                 ) from exc
+        else:
+            if inferred.size == 0:
+                # Empty sequences infer as float64; they are trivially valid.
+                keys = inferred.astype(np.uint64)
+            elif inferred.dtype == object:
+                keys = inferred
+            elif inferred.dtype.kind == "i":
+                if int(inferred.min()) < 0:
+                    raise ParameterError("item identifiers must be non-negative")
+                keys = inferred.astype(np.uint64)
+            elif inferred.dtype.kind in ("u", "b"):
+                keys = inferred.astype(np.uint64)
+            else:
+                raise ParameterError("batch items must be integers")
     if keys.ndim != 1:
         keys = keys.reshape(-1)
     if keys.dtype == object and keys.size:
@@ -148,6 +161,118 @@ def as_key_array(
                 "item %d outside universe [0, %d)" % (top, universe_size)
             )
     return keys
+
+
+def as_delta_array(
+    deltas: Union[Sequence[int], "np.ndarray"],
+    expected_length: Optional[int] = None,
+) -> "np.ndarray":
+    """Convert a batch of signed turnstile deltas to a validated array.
+
+    The turnstile counterpart of :func:`as_key_array`: every
+    ``update_batch(items, deltas)`` override funnels its ``deltas``
+    through here so dtype handling and the length check are uniform.
+
+    Args:
+        deltas: any integer sequence or ndarray; values may be negative.
+        expected_length: when given, the batch must have exactly this many
+            deltas (one per item) — the same check the base-class loop
+            performs, applied before any state is mutated.
+
+    Returns:
+        An ``int64`` ndarray, or an object array of exact Python ints when
+        some delta does not fit a signed 64-bit word.
+
+    Raises:
+        UpdateError: on a length mismatch.
+        ParameterError: on non-integer deltas.
+    """
+    require_numpy("batch ingestion")
+    from .exceptions import UpdateError
+
+    if not isinstance(deltas, np.ndarray):
+        # Let NumPy infer the dtype first: a float anywhere in the
+        # sequence must *raise*, not silently truncate (an int64 cast
+        # would turn delta 2.7 into 2 and break batch/scalar
+        # equivalence); oversized Python ints infer as object.
+        deltas = np.asarray(deltas)
+    if deltas.size == 0:
+        values = deltas.reshape(-1).astype(np.int64)
+    elif deltas.dtype == np.int64 or deltas.dtype == object:
+        values = deltas
+    elif deltas.dtype.kind in ("i", "b"):
+        values = deltas.astype(np.int64)
+    elif deltas.dtype.kind == "u":
+        if deltas.size and int(deltas.max()) > (1 << 63) - 1:
+            values = _to_object_array(deltas)
+        else:
+            values = deltas.astype(np.int64)
+    else:
+        raise ParameterError("batch deltas must be integers")
+    if values.dtype == object:
+        for value in values.tolist():
+            if not isinstance(value, int):
+                raise ParameterError("batch deltas must be integers")
+    if values.ndim != 1:
+        values = values.reshape(-1)
+    if expected_length is not None and len(values) != expected_length:
+        raise UpdateError("update_batch requires as many deltas as items")
+    return values
+
+
+def residues_mod(deltas: "np.ndarray", prime: int) -> "np.ndarray":
+    """Return ``deltas % prime`` as non-negative residues, exactly.
+
+    Words suffice whenever the deltas fit ``int64`` and the modulus fits a
+    signed word (NumPy's ``%`` follows Python's sign-of-divisor rule, so
+    the residues are already non-negative); anything larger degrades to an
+    object array of Python ints.
+    """
+    if deltas.dtype == object or prime >= (1 << 63):
+        return _to_object_array(deltas) % prime
+    return (deltas % np.int64(prime)).astype(np.uint64)
+
+
+def grouped_residue_sums(
+    group_index: "np.ndarray",
+    group_count: int,
+    residues: "np.ndarray",
+    prime: int,
+) -> List[int]:
+    """Sum residues per group exactly, returning plain Python ints.
+
+    This is the scatter-accumulate core of the turnstile batch paths: the
+    per-item fingerprint/counter contributions (each already reduced to
+    ``[0, prime)``) are summed per touched cell, and the caller folds one
+    total into each cell with a single exact ``% prime``.  Equivalence
+    with the scalar loop is algebraic: ``(((c + r1) % p) + r2) % p ==
+    (c + r1 + r2) % p``.
+
+    For word-sized residues the sums are accumulated in split 32-bit
+    halves so no intermediate can overflow ``uint64`` (exact for batches
+    up to ``2^32`` updates — far beyond any chunk size the pipeline
+    uses); object-dtype residues take the exact big-int path.
+
+    Args:
+        group_index: ``int64`` array mapping each residue to its group
+            (as produced by ``np.unique(..., return_inverse=True)``).
+        group_count: number of groups.
+        residues: per-item contributions in ``[0, prime)``.
+        prime: the modulus the residues were reduced by.
+    """
+    if residues.dtype == object:
+        sums = np.zeros(group_count, dtype=object)
+        np.add.at(sums, group_index, residues)
+        return [int(total) for total in sums.tolist()]
+    low = np.zeros(group_count, dtype=np.uint64)
+    np.add.at(low, group_index, residues & np.uint64(0xFFFFFFFF))
+    if prime <= (1 << 32):
+        return [int(total) for total in low.tolist()]
+    high = np.zeros(group_count, dtype=np.uint64)
+    np.add.at(high, group_index, residues >> np.uint64(32))
+    return [
+        (int(h) << 32) + int(l) for h, l in zip(high.tolist(), low.tolist())
+    ]
 
 
 # --------------------------------------------------------------------------

@@ -414,6 +414,246 @@ def test_turnstile_process_stream_batched_equals_scalar(turnstile_stream):
         assert batched.state_dict() == scalar.state_dict()
 
 
+# -- turnstile (L0) batch equivalence ------------------------------------------
+#
+# The vectorized turnstile pipeline carries the same binding contract as
+# the F0 side: for every registry L0 estimator, any batch split of an
+# insert+delete stream must leave *bit-identical* state (``state_dict``
+# reaches every counter, prime, and hash) and identical estimates.
+
+L0_UNIVERSE = 1 << 16
+L0_MAGNITUDE = 1 << 12
+L0_BATCH_SIZES = [1, 7, 512]
+
+
+def _turnstile_updates(length, seed, signs=(1, 1, 1, -1), deltas=(1,)):
+    """An insert-heavy mixed stream whose deletions hit previously seen items."""
+    rng = random.Random(seed)
+    updates = []
+    seen = []
+    for _ in range(length):
+        if seen and rng.random() < 0.3:
+            updates.append((rng.choice(seen), -1))
+        else:
+            item = rng.randrange(L0_UNIVERSE)
+            seen.append(item)
+            updates.append((item, rng.choice(deltas) * rng.choice(signs)))
+    return updates
+
+
+def _feed_update_batches(estimator, updates, batch_size):
+    items = np.asarray([item for item, _ in updates], dtype=np.uint64)
+    deltas = np.asarray([delta for _, delta in updates], dtype=np.int64)
+    for start in range(0, len(updates), batch_size):
+        estimator.update_batch(
+            items[start : start + batch_size], deltas[start : start + batch_size]
+        )
+
+
+def _l0_registry_cases():
+    from repro.estimators.registry import l0_algorithm_names, make_l0_estimator
+
+    return [
+        (
+            name,
+            lambda seed, name=name: make_l0_estimator(
+                name, L0_UNIVERSE, 0.2, L0_MAGNITUDE, seed=seed
+            ),
+        )
+        for name in l0_algorithm_names()
+    ]
+
+
+@pytest.mark.parametrize("deltas", [(1,), (1, 2, 5)], ids=["unit", "multi"])
+@pytest.mark.parametrize(
+    "name,factory", _l0_registry_cases(), ids=[c[0] for c in _l0_registry_cases()]
+)
+def test_turnstile_batch_matches_scalar_bit_for_bit(name, factory, deltas):
+    """Insert+delete mixes: every registry L0 estimator, every batch split."""
+    updates = _turnstile_updates(3000, seed=211, deltas=deltas)
+    scalar = factory(37)
+    for item, delta in updates:
+        scalar.update(item, delta)
+    scalar_state = scalar.state_dict()
+    scalar_estimate = scalar.estimate()
+    for batch_size in L0_BATCH_SIZES:
+        batched = factory(37)
+        _feed_update_batches(batched, updates, batch_size)
+        assert batched.state_dict() == scalar_state, (
+            "%s state diverged at batch size %d" % (name, batch_size)
+        )
+        assert batched.estimate() == scalar_estimate, (
+            "%s estimate diverged at batch size %d" % (name, batch_size)
+        )
+
+
+@pytest.mark.parametrize(
+    "name,factory", _l0_registry_cases(), ids=[c[0] for c in _l0_registry_cases()]
+)
+def test_turnstile_mixed_scalar_and_batch_ingestion(name, factory):
+    """Interleaving scalar updates and batches must equal the pure loop."""
+    updates = _turnstile_updates(2000, seed=223)
+    reference = factory(41)
+    for item, delta in updates:
+        reference.update(item, delta)
+    mixed = factory(41)
+    cursor = 0
+    rng = random.Random(13)
+    while cursor < len(updates):
+        if rng.random() < 0.5:
+            item, delta = updates[cursor]
+            mixed.update(item, delta)
+            cursor += 1
+        else:
+            take = rng.randrange(1, 300)
+            chunk = updates[cursor : cursor + take]
+            mixed.update_batch(
+                np.asarray([i for i, _ in chunk], dtype=np.uint64),
+                np.asarray([d for _, d in chunk], dtype=np.int64),
+            )
+            cursor += take
+    assert mixed.state_dict() == reference.state_dict(), name
+    assert mixed.estimate() == reference.estimate(), name
+
+
+def test_turnstile_batch_validation_is_all_or_nothing():
+    """An out-of-universe batch raises and leaves the sketch untouched."""
+    from repro.l0.knw_l0 import KNWHammingNormEstimator
+
+    estimator = KNWHammingNormEstimator(
+        L0_UNIVERSE, eps=0.2, magnitude_bound=L0_MAGNITUDE, seed=3
+    )
+    estimator.update_batch(np.arange(100, dtype=np.uint64), np.ones(100, dtype=np.int64))
+    before = estimator.state_dict()
+    with pytest.raises(ParameterError):
+        estimator.update_batch(
+            np.asarray([5, L0_UNIVERSE + 4, 6], dtype=np.uint64),
+            np.ones(3, dtype=np.int64),
+        )
+    with pytest.raises(UpdateError):
+        estimator.update_batch(np.asarray([5, 6], dtype=np.uint64), [1])
+    assert estimator.state_dict() == before
+
+
+def test_turnstile_zero_deltas_and_lists_match_scalar():
+    """Zero deltas are skipped like the scalar update; list input works."""
+    from repro.l0.knw_l0 import KNWHammingNormEstimator
+
+    def build():
+        return KNWHammingNormEstimator(
+            L0_UNIVERSE, eps=0.2, magnitude_bound=L0_MAGNITUDE, seed=47
+        )
+
+    reference = build()
+    for item in range(50):
+        reference.update(item, 2)
+    batched = build()
+    batched.update_batch(list(range(50)), [2, 0] * 25)  # zero deltas interleaved
+    batched.update_batch([item for item in range(1, 50, 2)], [2] * 25)
+    assert batched.state_dict() == reference.state_dict()
+
+
+def test_turnstile_median_wrapper_batch_matches_scalar():
+    """The median wrapper forwards batches; copies stay bit-identical."""
+    from repro.l0.ganguly import GangulyStyleL0Estimator
+
+    def build():
+        return MedianTurnstileEstimator(
+            lambda index: GangulyStyleL0Estimator(
+                L0_UNIVERSE, eps=0.2, magnitude_bound=L0_MAGNITUDE, seed=90 + index
+            ),
+            repetitions=3,
+        )
+
+    updates = _turnstile_updates(1500, seed=229)
+    scalar = build()
+    for item, delta in updates:
+        scalar.update(item, delta)
+    for batch_size in (1, 333):
+        batched = build()
+        _feed_update_batches(batched, updates, batch_size)
+        for mine, theirs in zip(batched.copies, scalar.copies):
+            assert mine.state_dict() == theirs.state_dict()
+        assert batched.estimate() == scalar.estimate()
+
+
+@pytest.mark.parametrize(
+    "name,factory", _l0_registry_cases(), ids=[c[0] for c in _l0_registry_cases()]
+)
+def test_turnstile_serialize_round_trip_mid_batch_ingest(name, factory):
+    """to_bytes mid-batch-ingest, revive, continue batching: bit-identical."""
+    from repro.estimators.base import TurnstileEstimator
+
+    updates = _turnstile_updates(2000, seed=233)
+    first, second = updates[:1000], updates[1000:]
+    reference = factory(53)
+    _feed_update_batches(reference, first, 256)
+    revived = TurnstileEstimator.from_bytes(reference.to_bytes())
+    assert revived.state_dict() == reference.state_dict()
+    _feed_update_batches(reference, second, 256)
+    _feed_update_batches(revived, second, 256)
+    assert revived.state_dict() == reference.state_dict(), name
+    assert revived.estimate() == reference.estimate(), name
+
+
+def test_network_monitor_flow_events_batch_equals_scalar():
+    """The monitor's deletion path: batched open/close events match scalar."""
+    from repro.apps.network_monitor import FlowCardinalityMonitor
+    from repro.streams.datasets import FlowRecord
+
+    rng = random.Random(59)
+    events = []
+    open_flows = []
+    for _ in range(2000):
+        if open_flows and rng.random() < 0.4:
+            record = open_flows.pop(rng.randrange(len(open_flows)))
+            events.append((record, -1))
+        else:
+            record = FlowRecord(
+                rng.randrange(256), rng.randrange(4096), rng.randrange(1024)
+            )
+            open_flows.append(record)
+            events.append((record, 1))
+
+    def build():
+        return FlowCardinalityMonitor(
+            universe_size=1 << 16, seed=2, track_active_flows=True
+        )
+
+    scalar = build()
+    for record, delta in events:
+        if delta > 0:
+            scalar.observe_flow_open(record)
+        else:
+            scalar.observe_flow_close(record)
+    batched = build()
+    for start in range(0, len(events), 700):
+        chunk = events[start : start + 700]
+        batched.observe_flow_events_batch(
+            [record for record, _ in chunk], [delta for _, delta in chunk]
+        )
+    assert (
+        batched._active_flows.state_dict() == scalar._active_flows.state_dict()
+    )
+    assert batched.active_flow_estimate() == scalar.active_flow_estimate()
+    # The estimate tracks the true number of open flows within the sketch's
+    # accuracy envelope (exact below the small-L0 handover).
+    assert scalar.active_flow_estimate() == pytest.approx(
+        len(open_flows), rel=0.35
+    )
+
+
+def test_monitor_without_flow_tracking_refuses_flow_events():
+    from repro.apps.network_monitor import FlowCardinalityMonitor
+    from repro.streams.datasets import FlowRecord
+
+    monitor = FlowCardinalityMonitor(universe_size=1 << 16, seed=2)
+    with pytest.raises(ParameterError):
+        monitor.observe_flow_open(FlowRecord(1, 2, 3))
+    with pytest.raises(ParameterError):
+        monitor.active_flow_estimate()
+
+
 def test_iter_update_batches_views(turnstile_stream):
     items = turnstile_stream.item_array()
     deltas = turnstile_stream.delta_array()

@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro.estimators.median import MedianEstimator
-from repro.estimators.registry import make_f0_estimator
+from repro.estimators.registry import make_f0_estimator, make_l0_estimator
 from repro.exceptions import MergeError, ParameterError
 from repro.parallel import (
     mergeable_f0_names,
@@ -262,14 +262,23 @@ def test_runner_workers_matches_serial():
     ]
 
 
-def test_runner_rejects_turnstile_workers(turnstile_stream):
+def test_runner_turnstile_workers_matches_serial(turnstile_stream):
+    """run_l0(workers=N) shards each segment and stays bit-identical."""
     from repro.analysis.runner import run_l0_by_name
-    from repro.analysis.runner import _run
-    from repro.estimators.registry import make_l0_estimator
 
-    estimator = make_l0_estimator("exact-l0", UNIVERSE, 0.2, 1 << 10, seed=1)
-    with pytest.raises(ParameterError):
-        _run(estimator, turnstile_stream, None, turnstile=True, workers=2)
+    checkpoints = turnstile_stream.checkpoints(3)
+    serial = run_l0_by_name(
+        "knw-l0", turnstile_stream, 0.2, seed=87,
+        checkpoint_positions=checkpoints, batch_size=256,
+    )
+    sharded = run_l0_by_name(
+        "knw-l0", turnstile_stream, 0.2, seed=87,
+        checkpoint_positions=checkpoints, batch_size=256, workers=3,
+    )
+    assert sharded.estimate == serial.estimate
+    assert [c.__dict__ for c in sharded.checkpoints] == [
+        c.__dict__ for c in serial.checkpoints
+    ]
 
 
 def test_sweep_workers_matches_serial():
@@ -346,3 +355,192 @@ def test_data_cleaning_parallel_pairs_match_serial():
     serial = [report.__dict__ for report in finder.most_similar_pairs(3)]
     pooled = [report.__dict__ for report in finder.most_similar_pairs(3, workers=2)]
     assert pooled == serial
+
+
+# -- turnstile (L0) sharded ingestion ------------------------------------------
+#
+# The library's L0 sketches are linear with eagerly drawn hashes, so
+# k-way sharded ingest + merge-reduce is bit-identical to sequential
+# ingestion for *every* mergeable L0 estimator — no lazily-drawn
+# configurations exist on this side.
+
+
+@pytest.fixture(scope="module")
+def turnstile_updates():
+    """An insert+delete update stream as aligned (items, deltas) arrays."""
+    rng = np.random.RandomState(67)
+    inserts = rng.randint(0, UNIVERSE, size=9000).astype(np.uint64)
+    deleted = inserts[rng.permutation(9000)[:3000]]
+    items = np.concatenate([inserts, deleted])
+    deltas = np.concatenate(
+        [np.ones(9000, dtype=np.int64), -np.ones(3000, dtype=np.int64)]
+    )
+    return items, deltas
+
+
+@pytest.fixture(scope="module")
+def sequential_l0_states(turnstile_updates):
+    """Reference single-sketch runs, one per mergeable L0 name."""
+    from repro.parallel import mergeable_l0_names
+
+    items, deltas = turnstile_updates
+    states = {}
+    for name in mergeable_l0_names():
+        estimator = make_l0_estimator(name, UNIVERSE, 0.2, 1 << 16, seed=73)
+        estimator.update_batch(items, deltas)
+        states[name] = (estimator.state_dict(), estimator.estimate())
+    return states
+
+
+def test_shard_updates_partitions_without_copying(turnstile_updates):
+    from repro.parallel import shard_updates
+
+    shards = shard_updates(turnstile_updates, 7)
+    assert len(shards) == 7
+    assert sum(len(items) for items, _ in shards) == len(turnstile_updates[0])
+    assert np.array_equal(
+        np.concatenate([items for items, _ in shards]), turnstile_updates[0]
+    )
+    assert np.array_equal(
+        np.concatenate([deltas for _, deltas in shards]), turnstile_updates[1]
+    )
+    assert all(items.base is not None for items, _ in shards)  # views
+
+
+def test_mergeable_l0_names_cover_the_registry():
+    from repro.parallel import mergeable_l0_names
+
+    names = mergeable_l0_names()
+    assert {"knw-l0", "knw-l0-paper", "ganguly", "exact-l0"} <= set(names)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_l0_merge_equals_sequential(
+    shards, turnstile_updates, sequential_l0_states
+):
+    from repro.parallel import mergeable_l0_names, parallel_ingest_updates_into
+
+    for name in mergeable_l0_names():
+        estimator = make_l0_estimator(name, UNIVERSE, 0.2, 1 << 16, seed=73)
+        parallel_ingest_updates_into(
+            estimator, turnstile_updates, shards=shards, workers=1,
+            execution="inline",
+        )
+        state, estimate = sequential_l0_states[name]
+        assert estimator.state_dict() == state, (name, shards)
+        assert estimator.estimate() == estimate, (name, shards)
+
+
+def test_l0_four_worker_processes_bit_identical(
+    turnstile_updates, sequential_l0_states
+):
+    from repro.parallel import parallel_ingest_l0
+
+    estimator = parallel_ingest_l0(
+        "knw-l0", turnstile_updates, 0.2, 73,
+        universe_size=UNIVERSE, magnitude_bound=1 << 16,
+        workers=4, execution="processes",
+    )
+    state, estimate = sequential_l0_states["knw-l0"]
+    assert estimator.state_dict() == state
+    assert estimator.estimate() == estimate
+
+
+def test_l0_median_wrapper_shards_and_merges(turnstile_updates):
+    from repro.estimators.median import MedianTurnstileEstimator
+    from repro.l0.ganguly import GangulyStyleL0Estimator
+    from repro.parallel import parallel_ingest_updates_into
+
+    def build():
+        return MedianTurnstileEstimator(
+            lambda index: GangulyStyleL0Estimator(
+                UNIVERSE, eps=0.2, magnitude_bound=1 << 16, seed=120 + index
+            ),
+            repetitions=3,
+        )
+
+    items, deltas = turnstile_updates
+    reference = build()
+    reference.update_batch(items, deltas)
+    sharded = build()
+    parallel_ingest_updates_into(
+        sharded, turnstile_updates, shards=3, workers=1, execution="inline"
+    )
+    for mine, theirs in zip(sharded.copies, reference.copies):
+        assert mine.state_dict() == theirs.state_dict()
+    assert sharded.estimate() == reference.estimate()
+
+
+def test_l0_mid_stream_template_state_is_preserved(turnstile_updates):
+    """Sharding may start mid-stream: the template's state is cloned in."""
+    from repro.parallel import parallel_ingest_updates_into
+
+    items, deltas = turnstile_updates
+    head_items, head_deltas = items[:2000], deltas[:2000]
+    tail = (items[2000:], deltas[2000:])
+    reference = make_l0_estimator("ganguly", UNIVERSE, 0.2, 1 << 16, seed=77)
+    reference.update_batch(items, deltas)
+    resumed = make_l0_estimator("ganguly", UNIVERSE, 0.2, 1 << 16, seed=77)
+    resumed.update_batch(head_items, head_deltas)
+    parallel_ingest_updates_into(
+        resumed, tail, shards=3, workers=1, execution="inline"
+    )
+    assert resumed.state_dict() == reference.state_dict()
+
+
+def test_l0_unmergeable_estimator_raises(turnstile_updates):
+    from repro.estimators.base import TurnstileEstimator
+    from repro.parallel import parallel_ingest_updates_into
+
+    class Unmergeable(TurnstileEstimator):
+        seed = 1
+
+        def update(self, item, delta):
+            pass
+
+        def estimate(self):
+            return 0.0
+
+        def space_bits(self):
+            return 0
+
+    with pytest.raises(ParameterError):
+        parallel_ingest_updates_into(
+            Unmergeable(), turnstile_updates, shards=3, workers=1,
+            execution="inline",
+        )
+
+
+def test_l0_seedless_estimator_raises(turnstile_updates):
+    from repro.parallel import parallel_ingest_updates_into
+
+    estimator = make_l0_estimator("knw-l0", UNIVERSE, 0.2, 1 << 16, seed=None)
+    with pytest.raises(ParameterError):
+        parallel_ingest_updates_into(
+            estimator, turnstile_updates, shards=3, workers=1, execution="inline"
+        )
+
+
+def test_l0_sweep_batched_trials_match_scalar_trials():
+    """The L0 sweep's batched driving changes nothing but the wall-clock."""
+    from repro.analysis.sweeps import l0_accuracy_sweep
+    from repro.streams.turnstile import insert_delete_stream
+
+    def factory(seed):
+        return insert_delete_stream(
+            1 << 16, 1500, delete_fraction=0.4, copies=1, seed=seed
+        )
+
+    batched = l0_accuracy_sweep(["knw-l0", "ganguly"], factory, [0.2], [1, 2])
+    scalar = l0_accuracy_sweep(
+        ["knw-l0", "ganguly"], factory, [0.2], [1, 2], batch_size=None
+    )
+    pooled = l0_accuracy_sweep(
+        ["knw-l0", "ganguly"], factory, [0.2], [1, 2], workers=2
+    )
+    assert [point.__dict__ for point in batched] == [
+        point.__dict__ for point in scalar
+    ]
+    assert [point.__dict__ for point in batched] == [
+        point.__dict__ for point in pooled
+    ]
