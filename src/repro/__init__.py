@@ -44,7 +44,13 @@ The main entry points are:
   (every estimator round-trips bit-identically).
 * :mod:`repro.parallel` — sharded multi-process ingestion with
   merge-reduce (``parallel_ingest_f0(..., workers=8)``; the linear L0
-  sketches shard too via ``parallel_ingest_l0``).
+  sketches shard too via ``parallel_ingest_l0``; keyed sketch stores
+  shard by key range via ``parallel_ingest_keyed``).
+* :mod:`repro.store` — the keyed sketch store: the state of N
+  per-entity sketches as struct-of-arrays NumPy matrices, with
+  ``update_grouped(keys, items)`` ingesting a whole keyed batch in one
+  hash pass plus a sort/group scatter (``SketchStore.for_family(
+  "hyperloglog", n, seed=7)``).
 * :mod:`repro.analysis.runner` — run any estimator over any stream, with
   optional ``batch_size`` for batched driving and ``workers`` for
   sharded multi-process ingestion.
@@ -83,9 +89,11 @@ from .parallel import (
     mergeable_l0_names,
     parallel_ingest_f0,
     parallel_ingest_into,
+    parallel_ingest_keyed,
     parallel_ingest_l0,
     parallel_ingest_updates_into,
 )
+from .store import SketchArray, SketchStore, make_sketch_array, sketch_array_family_names
 
 __all__ = [
     "__version__",
@@ -115,6 +123,11 @@ __all__ = [
     "mergeable_l0_names",
     "parallel_ingest_f0",
     "parallel_ingest_into",
+    "parallel_ingest_keyed",
     "parallel_ingest_l0",
     "parallel_ingest_updates_into",
+    "SketchArray",
+    "SketchStore",
+    "make_sketch_array",
+    "sketch_array_family_names",
 ]

@@ -9,13 +9,22 @@
 from .metrics import ErrorSummary, relative_error, summarize_errors, within_band_rate
 from .runner import (
     CheckpointResult,
+    KeyedRunResult,
     RunResult,
     run_f0,
     run_f0_by_name,
+    run_keyed_f0,
     run_l0,
     run_l0_by_name,
 )
-from .sweeps import SweepPoint, accuracy_sweep, l0_accuracy_sweep, space_sweep
+from .sweeps import (
+    KeyedSweepPoint,
+    SweepPoint,
+    accuracy_sweep,
+    keyed_accuracy_sweep,
+    l0_accuracy_sweep,
+    space_sweep,
+)
 from .tables import Table, format_bits
 
 __all__ = [
@@ -24,13 +33,17 @@ __all__ = [
     "summarize_errors",
     "within_band_rate",
     "CheckpointResult",
+    "KeyedRunResult",
     "RunResult",
     "run_f0",
     "run_f0_by_name",
+    "run_keyed_f0",
     "run_l0",
     "run_l0_by_name",
+    "KeyedSweepPoint",
     "SweepPoint",
     "accuracy_sweep",
+    "keyed_accuracy_sweep",
     "l0_accuracy_sweep",
     "space_sweep",
     "Table",

@@ -41,7 +41,16 @@ from ..parallel import (
 from ..streams.model import MaterializedStream
 from .metrics import relative_error
 
-__all__ = ["CheckpointResult", "RunResult", "run_f0", "run_l0", "run_f0_by_name", "run_l0_by_name"]
+__all__ = [
+    "CheckpointResult",
+    "RunResult",
+    "KeyedRunResult",
+    "run_f0",
+    "run_l0",
+    "run_f0_by_name",
+    "run_l0_by_name",
+    "run_keyed_f0",
+]
 
 
 @dataclass
@@ -299,6 +308,104 @@ def run_l0(
         turnstile=True,
         batch_size=batch_size,
         workers=workers,
+    )
+
+
+@dataclass
+class KeyedRunResult:
+    """Outcome of running one sketch-store family over a keyed workload.
+
+    Attributes:
+        family: the store's sketch family.
+        workload: the workload's name.
+        key_count: number of distinct keys observed.
+        mean_truth: mean exact per-key distinct count.
+        mean_relative_error: per-key relative errors, averaged.
+        max_relative_error: the worst per-key relative error.
+        space_bits: the store's total footprint after the run.
+        estimates: per-key estimates (key -> estimate).
+        truth: per-key exact distinct counts (key -> count).
+    """
+
+    family: str
+    workload: str
+    key_count: int
+    mean_truth: float
+    mean_relative_error: float
+    max_relative_error: float
+    space_bits: int
+    estimates: dict = field(default_factory=dict)
+    truth: dict = field(default_factory=dict)
+
+
+def run_keyed_f0(
+    family: str,
+    workload,
+    eps: float,
+    seed: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    workers: Optional[int] = None,
+    **family_params,
+) -> KeyedRunResult:
+    """Run one sketch-store family over a keyed insertion-only workload.
+
+    The keyed-workload counterpart of :func:`run_f0_by_name`: a
+    :class:`~repro.store.store.SketchStore` ingests the whole workload
+    through grouped vectorized sweeps (chunked at ``batch_size``), every
+    key's estimate is read with one bulk ``estimate_all``, and the
+    per-key relative errors against the exact per-key distinct counts
+    are aggregated.
+
+    Args:
+        family: a struct-of-arrays store family or any registry F0 name
+            (see :func:`repro.store.families.make_sketch_array`).
+        workload: a :class:`repro.streams.generators.KeyedWorkload`.
+        eps: target relative error per key.
+        seed: store seed (required by the store's homologous-rows model).
+        batch_size: grouped-sweep chunk length (``None`` drives the
+            whole workload as one sweep).
+        workers: when > 1, shard the workload by key range over this
+            many worker processes (:func:`repro.parallel
+            .parallel_ingest_keyed`); results are identical to serial
+            grouped driving.
+        **family_params: forwarded to the family factory.
+    """
+    from ..store import SketchStore
+
+    store = SketchStore.for_family(
+        family, workload.universe_size, eps=eps, seed=seed, **family_params
+    )
+    if workers is not None and workers > 1:
+        from ..parallel import parallel_ingest_keyed
+
+        parallel_ingest_keyed(
+            store,
+            workload.keys,
+            workload.items,
+            workers=workers,
+            batch_size=batch_size,
+        )
+    elif batch_size is None:
+        store.update_grouped(workload.keys, workload.items)
+    else:
+        for keys, items in workload.iter_grouped_batches(batch_size):
+            store.update_grouped(keys, items)
+    truth = workload.ground_truth()
+    estimates = store.estimate_all()
+    errors = [
+        relative_error(estimates[key], count) if count else 0.0
+        for key, count in truth.items()
+    ]
+    return KeyedRunResult(
+        family=family,
+        workload=getattr(workload, "name", "keyed"),
+        key_count=len(truth),
+        mean_truth=(sum(truth.values()) / len(truth)) if truth else 0.0,
+        mean_relative_error=(sum(errors) / len(errors)) if errors else 0.0,
+        max_relative_error=max(errors, default=0.0),
+        space_bits=store.space_bits(),
+        estimates=estimates,
+        truth=truth,
     )
 
 

@@ -25,13 +25,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..exceptions import ParameterError
 from ..streams.model import MaterializedStream
 from .metrics import ErrorSummary, summarize_errors, within_band_rate
-from .runner import run_f0_by_name, run_l0_by_name
+from .runner import run_f0_by_name, run_keyed_f0, run_l0_by_name
 
 __all__ = [
     "DEFAULT_SWEEP_BATCH",
     "SweepPoint",
+    "KeyedSweepPoint",
     "accuracy_sweep",
     "l0_accuracy_sweep",
+    "keyed_accuracy_sweep",
     "space_sweep",
 ]
 
@@ -236,6 +238,93 @@ def l0_accuracy_sweep(
             )
             outcomes.append((result.estimate, result.space_bits))
     return _collect_points(grid, outcomes, len(seeds), truth)
+
+
+@dataclass
+class KeyedSweepPoint:
+    """Aggregated result of one (family, eps) cell of a keyed sweep.
+
+    Attributes:
+        family: the sketch-store family.
+        eps: the per-key accuracy target.
+        key_count: distinct keys in the workload.
+        mean_truth: mean exact per-key distinct count.
+        mean_relative_error: per-key relative error, averaged over keys
+            and seeds.
+        max_relative_error: worst per-key error across keys and seeds.
+        mean_space_bits: average store footprint across seeds.
+    """
+
+    family: str
+    eps: float
+    key_count: int
+    mean_truth: float
+    mean_relative_error: float
+    max_relative_error: float
+    mean_space_bits: float
+
+
+def keyed_accuracy_sweep(
+    families: Sequence[str],
+    workload_factory: Callable[[int], "object"],
+    eps_values: Sequence[float],
+    seeds: Sequence[int],
+    workload_seed: int = 12345,
+    batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
+) -> List[KeyedSweepPoint]:
+    """Sweep sketch-store families over a keyed workload.
+
+    The keyed-workload mode of the sweep harness: every ``(family, eps,
+    seed)`` trial builds a :class:`~repro.store.store.SketchStore`,
+    drives the whole keyed workload through grouped vectorized sweeps
+    (:func:`repro.analysis.runner.run_keyed_f0`), and the per-key errors
+    aggregate into one point per (family, eps) cell.
+
+    Args:
+        families: store family names (struct-of-arrays families or any
+            registry F0 estimator).
+        workload_factory: callable building the keyed workload
+            (:class:`repro.streams.generators.KeyedWorkload`) from a
+            seed; the same workload seed serves every family.
+        eps_values: per-key accuracy targets to sweep.
+        seeds: store seeds (one independent trial per seed).
+        workload_seed: the workload seed.
+        batch_size: grouped-sweep chunk length.
+    """
+    if not families or not eps_values or not seeds:
+        raise ParameterError(
+            "keyed_accuracy_sweep needs families, eps values, and seeds"
+        )
+    workload = workload_factory(workload_seed)
+    points: List[KeyedSweepPoint] = []
+    for eps in eps_values:
+        for family in families:
+            mean_errors = []
+            max_errors = []
+            spaces = []
+            key_count = 0
+            mean_truth = 0.0
+            for seed in seeds:
+                result = run_keyed_f0(
+                    family, workload, eps, seed=seed, batch_size=batch_size
+                )
+                mean_errors.append(result.mean_relative_error)
+                max_errors.append(result.max_relative_error)
+                spaces.append(result.space_bits)
+                key_count = result.key_count
+                mean_truth = result.mean_truth
+            points.append(
+                KeyedSweepPoint(
+                    family=family,
+                    eps=eps,
+                    key_count=key_count,
+                    mean_truth=mean_truth,
+                    mean_relative_error=sum(mean_errors) / len(mean_errors),
+                    max_relative_error=max(max_errors),
+                    mean_space_bits=sum(spaces) / len(spaces),
+                )
+            )
+    return points
 
 
 def space_sweep(

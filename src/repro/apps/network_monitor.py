@@ -20,14 +20,14 @@ the paper's Section 4 deletion capability as a monitoring feature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from ..baselines.linear_counting import LinearCounter
 from ..core.fast_knw import FastKNWDistinctCounter
 from ..core.knw import KNWDistinctCounter
 from ..exceptions import ParameterError
 from ..l0.knw_l0 import KNWHammingNormEstimator
 from ..parallel import parallel_merge_shards
+from ..store import LinearCountingSketchArray, SketchStore
 from ..streams.datasets import FlowRecord
 from ..vectorize import HAS_NUMPY, np
 
@@ -118,14 +118,15 @@ class FlowCardinalityMonitor:
             self._active_flows = KNWHammingNormEstimator(
                 universe_size, eps=eps, seed=seed + 4
             )
-        self._new_window_sketches()
-        # Per-source fan-out sketches are intentionally tiny: the detector
+        # Per-source fan-out bitmaps are intentionally tiny: the detector
         # only needs to notice fan-outs in the hundreds, so a small
-        # linear-counting bitmap per active source (a few hundred bytes)
-        # suffices and keeps the per-window cost bounded even with many
-        # distinct sources.
+        # linear-counting bitmap per active source suffices.  They live in
+        # a keyed sketch store — one (sources x bits) bit-plane matrix —
+        # so a window's whole packet batch updates every active source's
+        # bitmap in one grouped vectorized sweep instead of one Python
+        # call per source.
         self._fanout_bits = max(8 * scan_fanout_threshold, 1024)
-        self._per_source_fanout: Dict[int, LinearCounter] = {}
+        self._new_window_sketches()
 
     def _new_window_sketches(self) -> None:
         if self.mergeable:
@@ -147,7 +148,11 @@ class FlowCardinalityMonitor:
         self._flows = sketch(self._seed)
         self._sources = sketch(self._seed + 1)
         self._destinations = sketch(self._seed + 2)
-        self._per_source_fanout = {}
+        self._fanout_store = SketchStore(
+            LinearCountingSketchArray(
+                self.universe_size, bits=self._fanout_bits, seed=self._seed + 3
+            )
+        )
 
     def observe(self, record: FlowRecord) -> Optional[WindowReport]:
         """Process one packet header; returns a report when a window closes."""
@@ -155,13 +160,9 @@ class FlowCardinalityMonitor:
         self._flows.update(flow_id)
         self._sources.update(record.source % self.universe_size)
         self._destinations.update(record.destination % self.universe_size)
-        fanout = self._per_source_fanout.get(record.source)
-        if fanout is None:
-            fanout = LinearCounter(
-                self.universe_size, bits=self._fanout_bits, seed=self._seed + 3
-            )
-            self._per_source_fanout[record.source] = fanout
-        fanout.update(record.destination % self.universe_size)
+        self._fanout_store.update(
+            record.source, record.destination % self.universe_size
+        )
 
         self._packets_in_window += 1
         if self._packets_in_window >= self.window_packets:
@@ -175,8 +176,9 @@ class FlowCardinalityMonitor:
         per record (windows still roll at exactly ``window_packets``
         packets — the chunk is split at window boundaries), but the three
         per-window distinct-count sketches ingest each window slice through
-        their vectorized ``update_batch``, and the per-source fan-out
-        bitmaps ingest one batch per (source, slice) group.
+        their vectorized ``update_batch``, and the whole slice updates the
+        per-source fan-out store in one grouped vectorized sweep
+        (:meth:`repro.store.store.SketchStore.update_grouped`).
 
         Args:
             records: packet headers in arrival order.
@@ -361,30 +363,33 @@ class FlowCardinalityMonitor:
         return self._require_active_flows().estimate()
 
     def _observe_fanout(self, records: Sequence[FlowRecord]) -> None:
-        """Feed the per-source fan-out bitmaps, grouped by source."""
-        by_source: Dict[int, List[int]] = {}
-        for record in records:
-            by_source.setdefault(record.source, []).append(
-                record.destination % self.universe_size
-            )
-        for source, destinations in by_source.items():
-            fanout = self._per_source_fanout.get(source)
-            if fanout is None:
-                fanout = LinearCounter(
-                    self.universe_size, bits=self._fanout_bits, seed=self._seed + 3
+        """Feed the per-source fan-out store in one grouped vectorized sweep."""
+        if not records:
+            return
+        universe = self.universe_size
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            for record in records:
+                self._fanout_store.update(
+                    record.source, record.destination % universe
                 )
-                self._per_source_fanout[source] = fanout
-            if HAS_NUMPY:
-                fanout.update_batch(destinations)
-            else:  # pragma: no cover - numpy is a declared dependency
-                for destination in destinations:
-                    fanout.update(destination)
+            return
+        sources = np.fromiter(
+            (record.source for record in records),
+            dtype=np.int64,
+            count=len(records),
+        )
+        destinations = np.fromiter(
+            (record.destination % universe for record in records),
+            dtype=np.uint64,
+            count=len(records),
+        )
+        self._fanout_store.update_grouped(sources, destinations)
 
     def _roll_window(self) -> WindowReport:
         suspects = [
             source
-            for source, fanout in self._per_source_fanout.items()
-            if fanout.estimate() >= self.scan_fanout_threshold
+            for source, estimate in self._fanout_store.estimate_all().items()
+            if estimate >= self.scan_fanout_threshold
         ]
         report = WindowReport(
             window_index=self._window_index,

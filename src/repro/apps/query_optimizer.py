@@ -6,14 +6,23 @@ estimate selectivities and choose join orders, but a full scan per column
 per statistics refresh is too expensive — a one-pass sketch per column is
 the standard fix.
 
-:class:`ColumnStatisticsCollector` maintains one KNW sketch per column of a
-table, ingests rows one at a time (one pass), and answers the two questions
-an optimiser asks:
+:class:`ColumnStatisticsCollector` keeps its per-column sketches in a
+keyed :class:`~repro.store.store.SketchStore` (column name -> sketch
+row), ingests either row batches or whole column scans through the
+vectorized batch pipeline, and answers the two questions an optimiser
+asks:
 
 * the estimated NDV of each column (for selectivity ``1/NDV``);
 * the estimated NDV of the *union* of two columns' value sets (via sketch
   merging), from which the classic distinct-value join-size estimate
   ``|R| * |S| / max(NDV_R, NDV_S)`` is derived.
+
+All column sketches share one seed (that is what makes union NDV work),
+which is exactly the store's homologous-rows model: with a
+struct-of-arrays family (``family="hyperloglog"``, ...) the whole
+statistics state is a couple of NumPy matrices and a multi-column refresh
+is one grouped sweep; the default ``family="knw"`` keeps the paper's own
+estimator per column through the store's object-backed rows.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from typing import Dict, Optional, Sequence
 from ..core.knw import KNWDistinctCounter
 from ..exceptions import ParameterError
 from ..parallel import parallel_merge_shards
+from ..store import ObjectSketchArray, SketchStore
 from ..vectorize import HAS_NUMPY
 
 __all__ = ["ColumnStatisticsCollector", "JoinEstimate"]
@@ -54,6 +64,7 @@ class ColumnStatisticsCollector:
     Attributes:
         universe_size: size of the value universe shared by the columns.
         eps: relative-error target of the per-column sketches.
+        family: the sketch family backing the column store.
     """
 
     def __init__(
@@ -62,6 +73,7 @@ class ColumnStatisticsCollector:
         universe_size: int,
         eps: float = 0.05,
         seed: int = 1,
+        family: str = "knw",
     ) -> None:
         """Create a collector.
 
@@ -71,6 +83,12 @@ class ColumnStatisticsCollector:
             eps: relative-error target.
             seed: base seed; every column uses the *same* seed so that the
                 per-column sketches are mergeable (needed for union NDV).
+            family: sketch family for the column store.  ``"knw"`` (the
+                default) keeps the paper's estimator per column; any
+                struct-of-arrays store family
+                (:func:`repro.store.families.sketch_array_family_names`)
+                or registry name works, as long as it supports merging
+                when :meth:`union_ndv` is needed.
         """
         if not columns:
             raise ParameterError("at least one column is required")
@@ -78,27 +96,42 @@ class ColumnStatisticsCollector:
             raise ParameterError("column names must be unique")
         self.universe_size = universe_size
         self.eps = eps
+        self.family = family
         self._seed = seed
         self._row_counts: Dict[str, int] = {name: 0 for name in columns}
-        # The polynomial rough-estimator family keeps the sketches fully
-        # seed-determined, so per-partition sharded ingest and union-NDV
-        # merging are bit-identical to serial single-sketch ingestion.
-        self._sketches: Dict[str, KNWDistinctCounter] = {
-            name: self._new_sketch() for name in columns
-        }
-
-    def _new_sketch(self) -> KNWDistinctCounter:
-        return KNWDistinctCounter(
-            self.universe_size,
-            eps=self.eps,
-            seed=self._seed,
-            rough_uniform_family=False,
-        )
+        if family == "knw":
+            # The polynomial rough-estimator family keeps the sketches fully
+            # seed-determined, so per-partition sharded ingest and union-NDV
+            # merging are bit-identical to serial single-sketch ingestion.
+            self._store = SketchStore(
+                ObjectSketchArray(
+                    KNWDistinctCounter(
+                        universe_size,
+                        eps=eps,
+                        seed=seed,
+                        rough_uniform_family=False,
+                    )
+                ),
+                keys=columns,
+            )
+        else:
+            self._store = SketchStore.for_family(
+                family, universe_size, keys=columns, eps=eps, seed=seed
+            )
 
     @property
     def columns(self) -> Sequence[str]:
         """The column names being tracked."""
-        return list(self._sketches)
+        return self._store.keys
+
+    @property
+    def store(self) -> SketchStore:
+        """The keyed sketch store holding the per-column state."""
+        return self._store
+
+    def _require_column(self, column: str) -> None:
+        if column not in self._store:
+            raise ParameterError("unknown column %r" % column)
 
     def ingest_row(self, row: Dict[str, Optional[int]]) -> None:
         """Ingest one row: a mapping from column name to encoded value.
@@ -107,11 +140,10 @@ class ColumnStatisticsCollector:
         compute NDV statistics.
         """
         for column, value in row.items():
-            if column not in self._sketches:
-                raise ParameterError("unknown column %r" % column)
+            self._require_column(column)
             if value is None:
                 continue
-            self._sketches[column].update(value)
+            self._store.update(column, value)
             self._row_counts[column] += 1
 
     def ingest_column(self, column: str, values: Sequence[Optional[int]]) -> None:
@@ -119,23 +151,21 @@ class ColumnStatisticsCollector:
 
         The column form is the statistics-refresh hot path (a full column
         scan per refresh), so non-null values are ingested through the
-        sketch's vectorized ``update_batch``; ``None`` values (SQL NULLs)
-        are skipped exactly as in :meth:`ingest_row`.
+        store's vectorized batch path; ``None`` values (SQL NULLs) are
+        skipped exactly as in :meth:`ingest_row`.
         """
-        if column not in self._sketches:
-            raise ParameterError("unknown column %r" % column)
-        sketch = self._sketches[column]
+        self._require_column(column)
         non_null = [value for value in values if value is not None]
         if not non_null:
             return
         if HAS_NUMPY:
-            # The plain list goes straight to update_batch: its validation
+            # The plain list goes straight to the batch path: its validation
             # turns negatives / non-integers into the same ParameterError
             # the scalar path raises, instead of a dtype-conversion error.
-            sketch.update_batch(non_null)
+            self._store.update_batch(column, non_null)
         else:  # pragma: no cover - numpy is a declared dependency
             for value in non_null:
-                sketch.update(value)
+                self._store.update(column, value)
         self._row_counts[column] += len(non_null)
 
     def ingest_column_partitions(
@@ -158,20 +188,26 @@ class ColumnStatisticsCollector:
             partitions: one value sequence per table partition.
             workers: worker processes (defaults to the CPU count).
         """
-        if column not in self._sketches:
-            raise ParameterError("unknown column %r" % column)
+        self._require_column(column)
         shards = [
             [value for value in partition if value is not None]
             for partition in partitions
         ]
-        parallel_merge_shards(self._sketches[column], shards, workers=workers)
+        sketch = self._store.sketch(column)
+        parallel_merge_shards(sketch, shards, workers=workers)
+        # Object-backed rows are the live sketches (write-back is a no-op
+        # reassignment); struct-of-arrays rows import the driven state.
+        self._store.load_sketch(column, sketch)
         self._row_counts[column] += sum(len(shard) for shard in shards)
 
     def ndv(self, column: str) -> float:
         """Return the estimated number of distinct values of ``column``."""
-        if column not in self._sketches:
-            raise ParameterError("unknown column %r" % column)
-        return self._sketches[column].estimate()
+        self._require_column(column)
+        return self._store.estimate(column)
+
+    def all_ndv(self) -> Dict[str, float]:
+        """Return every column's estimated NDV from one bulk state sweep."""
+        return self._store.estimate_all()
 
     def selectivity(self, column: str) -> float:
         """Return the classic equality-predicate selectivity ``1 / NDV``."""
@@ -184,11 +220,11 @@ class ColumnStatisticsCollector:
         Implemented by merging copies of the two (same-seed) sketches, which
         is exactly the distributed-union use case of mergeable sketches.
         """
-        if first not in self._sketches or second not in self._sketches:
+        if first not in self._store or second not in self._store:
             raise ParameterError("unknown column in union_ndv")
-        merged = self._new_sketch()
-        merged.merge(self._sketches[first])
-        merged.merge(self._sketches[second])
+        merged = self._store.make_sketch()
+        merged.merge(self._store.sketch(first))
+        merged.merge(self._store.sketch(second))
         return merged.estimate()
 
     def join_estimate(self, left: str, right: str) -> JoinEstimate:
@@ -208,4 +244,4 @@ class ColumnStatisticsCollector:
 
     def space_bits(self) -> int:
         """Return the total statistics footprint in bits (all column sketches)."""
-        return sum(sketch.space_bits() for sketch in self._sketches.values())
+        return self._store.space_bits()

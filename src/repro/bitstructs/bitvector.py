@@ -160,6 +160,41 @@ class BitVector:
         return [self.get(i) for i in range(self.length)]
 
     @classmethod
+    def from_buffer(cls, data, length: int) -> "BitVector":
+        """Build a bitvector adopting a raw little-endian byte buffer.
+
+        The inverse of reading ``_bytes``: ``data`` uses the same layout
+        as the vector's own storage (bit ``i`` is bit ``i & 7`` of byte
+        ``i >> 3``), and the ones count is recomputed with one popcount
+        pass.  The keyed sketch store uses this to materialise one row of
+        a bit-plane matrix as the :class:`BitVector` an independent
+        bitmap sketch would hold.
+
+        Args:
+            data: bytes-like buffer of exactly ``ceil(length / 8)`` bytes;
+                bits at positions >= ``length`` must be zero.
+            length: number of bits; must be positive.
+        """
+        vector = cls(length)
+        raw = bytes(data)
+        if len(raw) != len(vector._bytes):
+            raise ParameterError(
+                "buffer holds %d bytes, expected %d for %d bits"
+                % (len(raw), len(vector._bytes), length)
+            )
+        spare = len(raw) * 8 - length
+        if spare and raw[-1] >> (8 - spare):
+            raise ParameterError("buffer sets bits beyond the vector length")
+        vector._bytes = bytearray(raw)
+        if HAS_NUMPY:
+            vector._ones = int(
+                np.unpackbits(np.frombuffer(raw, dtype=np.uint8)).sum()
+            )
+        else:  # pragma: no cover - numpy is a declared dependency
+            vector._ones = sum(bin(byte).count("1") for byte in raw)
+        return vector
+
+    @classmethod
     def from_bits(cls, bits: Iterable[int]) -> "BitVector":
         """Build a bitvector from an iterable of 0/1 values."""
         values = list(bits)

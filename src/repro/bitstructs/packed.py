@@ -215,6 +215,40 @@ class PackedCounterArray:
             array.set(index, value)
         return array
 
+    @classmethod
+    def from_numpy(cls, values, width: int) -> "PackedCounterArray":
+        """Build a packed array from an integer ndarray in one bulk pass.
+
+        The inverse of :meth:`to_numpy`: the whole buffer is re-encoded
+        with one vectorized ``np.packbits`` pass instead of ``length``
+        Python big-int writes.  The keyed sketch store uses this to
+        materialise a single row of a register matrix as the packed
+        array an independent sketch would hold — bit-identical buffer
+        included.
+
+        Args:
+            values: 1-D integer ndarray (any integer dtype); every value
+                must fit in ``width`` bits.
+            width: bits per counter.
+        """
+        require_numpy("PackedCounterArray.from_numpy")
+        values = np.asarray(values)
+        if values.ndim != 1 or values.size == 0:
+            raise ParameterError("from_numpy needs a non-empty 1-D array")
+        array = cls(int(values.shape[0]), width)
+        if width > _WORD_WIDTH_LIMIT:  # pragma: no cover - no current user
+            for index, value in enumerate(values.tolist()):
+                array.set(index, int(value))
+            return array
+        as_words = values.astype(np.uint64)
+        peak = int(as_words.max())
+        if peak > array._mask:
+            raise ParameterError(
+                "value %d does not fit in %d bits" % (peak, width)
+            )
+        array._buffer = array._pack(as_words)
+        return array
+
     def space_bits(self) -> int:
         """Return the space cost: ``length * width`` bits."""
         return self.length * self.width

@@ -55,12 +55,14 @@ __all__ = [
     "DEFAULT_SHARD_BATCH",
     "shard_items",
     "shard_updates",
+    "shard_keyed_updates",
     "parallel_merge_shards",
     "parallel_merge_update_shards",
     "parallel_ingest_into",
     "parallel_ingest_updates_into",
     "parallel_ingest_f0",
     "parallel_ingest_l0",
+    "parallel_ingest_keyed",
     "mergeable_f0_names",
     "mergeable_l0_names",
     "default_workers",
@@ -552,6 +554,166 @@ def parallel_ingest_l0(
         batch_size=batch_size,
         execution=execution,
     )
+
+
+# ---------------------------------------------------------------------------
+# Keyed (sketch-store) sharded ingestion.
+#
+# A SketchStore holds many per-key sketches; the natural shard axis is the
+# *key space*, not the stream position: every key's updates land in exactly
+# one shard, each worker builds the touched rows of its key range inside an
+# empty same-seed store clone, and the coordinator adopts/merges the worker
+# stores key-wise.  Because no key is split across workers, the merge-back
+# is exact for max/OR families and for additive turnstile families alike.
+# ---------------------------------------------------------------------------
+
+KeyedShard = Tuple[Any, Any, Any]
+
+
+def shard_keyed_updates(keys, items, deltas=None, shards: int = 1) -> List[KeyedShard]:
+    """Partition a keyed batch so each key lands in exactly one shard.
+
+    Keys are assigned to shards by sorted-key-rank ranges (``np.unique``
+    rank modulo ``shards``), which balances shard sizes under skewed key
+    distributions better than hashing raw key values; each shard keeps
+    its updates in stream order.
+
+    Args:
+        keys: per-update integer keys (sequence or ndarray).
+        items: per-update identifiers, aligned with ``keys``.
+        deltas: optional signed deltas (turnstile stores).
+        shards: positive shard count.
+
+    Returns:
+        ``shards`` triples ``(keys, items, deltas)`` (``deltas`` is
+        ``None`` throughout when not supplied); some may be empty.
+    """
+    if shards <= 0:
+        raise ParameterError("shard count must be positive")
+    if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+        raise ParameterError("shard_keyed_updates requires numpy")
+    key_array = np.asarray(keys)
+    item_array = items if isinstance(items, np.ndarray) else np.asarray(items)
+    if len(key_array) != len(item_array):
+        raise ParameterError("keyed sharding needs one key per item")
+    delta_array = None
+    if deltas is not None:
+        delta_array = deltas if isinstance(deltas, np.ndarray) else np.asarray(deltas)
+        if len(delta_array) != len(item_array):
+            raise ParameterError("keyed sharding needs one delta per item")
+    if len(key_array) == 0:
+        empty_deltas = None if delta_array is None else delta_array[:0]
+        return [
+            (key_array[:0], item_array[:0], empty_deltas) for _ in range(shards)
+        ]
+    _, inverse = np.unique(key_array, return_inverse=True)
+    assignment = inverse % shards
+    result: List[KeyedShard] = []
+    for shard in range(shards):
+        mask = assignment == shard
+        result.append(
+            (
+                key_array[mask],
+                item_array[mask],
+                None if delta_array is None else delta_array[mask],
+            )
+        )
+    return result
+
+
+def _ingest_keyed_shard_worker(payload: Tuple[bytes, KeyedShard, Optional[int]]) -> bytes:
+    """Worker body: revive the empty store clone, ingest one key range."""
+    template, (keys, items, deltas), batch_size = payload
+    store = serialize.loads(template)
+    if batch_size is None:
+        batch_size = len(items)
+    if batch_size <= 0:
+        raise ParameterError("batch_size must be positive")
+    for start in range(0, len(items), batch_size):
+        stop = start + batch_size
+        store.update_grouped(
+            keys[start:stop],
+            items[start:stop],
+            None if deltas is None else deltas[start:stop],
+        )
+    return store.to_bytes()
+
+
+def parallel_ingest_keyed(
+    store,
+    keys,
+    items,
+    deltas=None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    execution: Optional[str] = None,
+    executor: Optional[Executor] = None,
+):
+    """Shard a keyed batch by key range and ingest it into ``store``.
+
+    The :class:`~repro.store.store.SketchStore` counterpart of
+    :func:`parallel_ingest_into`: the batch is partitioned with
+    :func:`shard_keyed_updates`, each worker process ingests its key
+    range into an *empty* clone of the store (same family, parameters,
+    and seed — :meth:`~repro.store.store.SketchStore.spawn_empty`), and
+    the worker stores merge back key-wise.  Every key's updates stay in
+    one shard, so the merged store is exactly the store sequential
+    grouped ingestion would produce — for idempotent (max/OR) families
+    *and* additive turnstile families.
+
+    Args:
+        store: the target sketch store (mutated in place).
+        keys / items / deltas: the keyed batch, as accepted by
+            :meth:`~repro.store.store.SketchStore.update_grouped`
+            (integer keys — the shard assignment sorts them).
+        workers: process count; defaults to the CPU count.
+        shards: shard count; defaults to ``workers``.
+        batch_size: chunk length for the workers' grouped driving.
+        execution: ``"processes"``, ``"inline"``, or ``None`` to pick
+            automatically.
+        executor: an existing pool to reuse (``workers``/``execution``
+            are then ignored).
+
+    Returns:
+        ``store``, for chaining.
+    """
+    if workers is None and shards is None:
+        workers = default_workers()
+    count = shards if shards is not None else workers
+    work = [
+        shard
+        for shard in shard_keyed_updates(keys, items, deltas, shards=count)
+        if len(shard[0]) > 0
+    ]
+    if not work:
+        return store
+    if len(work) == 1:
+        keys_shard, items_shard, deltas_shard = work[0]
+        store.update_grouped(keys_shard, items_shard, deltas_shard)
+        return store
+    template = store.spawn_empty().to_bytes()
+    payloads = [(template, shard, batch_size) for shard in work]
+    if executor is not None:
+        blobs = list(executor.map(_ingest_keyed_shard_worker, payloads))
+    else:
+        if workers is None:
+            workers = default_workers()
+        if workers <= 0:
+            raise ParameterError("workers must be positive")
+        workers = min(workers, len(work))
+        if execution is None:
+            execution = "processes" if workers > 1 else "inline"
+        if execution not in ("processes", "inline"):
+            raise ParameterError("execution must be 'processes' or 'inline'")
+        if execution == "processes":
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                blobs = list(pool.map(_ingest_keyed_shard_worker, payloads))
+        else:
+            blobs = [_ingest_keyed_shard_worker(payload) for payload in payloads]
+    for blob in blobs:
+        store.merge_from(serialize.loads(blob))
+    return store
 
 
 _MERGEABLE_CACHE: Optional[Dict[str, bool]] = None

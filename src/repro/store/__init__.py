@@ -1,0 +1,42 @@
+"""Keyed sketch-store subsystem: many homologous sketches, one sweep.
+
+The paper's motivating applications key sketches by entity (per-column
+NDV statistics, per-source fan-out); this package stores N such sketches
+as struct-of-arrays NumPy state and ingests whole keyed batches through
+one shared hash pass plus a sort/group scatter:
+
+* :class:`~repro.store.sketch_array.SketchArray` — the row-addressed
+  struct-of-arrays state, bit-identical per row to independent sketches.
+* :mod:`repro.store.families` — HyperLogLog / LogLog register matrices,
+  linear-counting bit-planes, the KNW rough-estimator counter tensor,
+  and the object-backed fallback covering every registry estimator.
+* :class:`~repro.store.store.SketchStore` — the growable key-to-row
+  mapping with bulk reporting (``estimate_all``), key-wise merging
+  (``merge_from``), and ``state_dict``/``to_bytes`` transport.
+
+Sharding by key lives in :func:`repro.parallel.parallel_ingest_keyed`.
+"""
+
+from .families import (
+    HyperLogLogSketchArray,
+    LinearCountingSketchArray,
+    LogLogSketchArray,
+    ObjectSketchArray,
+    RoughSketchArray,
+    make_sketch_array,
+    sketch_array_family_names,
+)
+from .sketch_array import SketchArray
+from .store import SketchStore
+
+__all__ = [
+    "SketchArray",
+    "SketchStore",
+    "HyperLogLogSketchArray",
+    "LogLogSketchArray",
+    "LinearCountingSketchArray",
+    "RoughSketchArray",
+    "ObjectSketchArray",
+    "make_sketch_array",
+    "sketch_array_family_names",
+]

@@ -2,7 +2,8 @@
 
 * :mod:`repro.streams.model` — update/stream value types and ground truth.
 * :mod:`repro.streams.generators` — insertion-only workloads (uniform,
-  Zipf, sequential, adversarial, grow-then-repeat, union pairs).
+  Zipf, sequential, adversarial, grow-then-repeat, union pairs) and
+  keyed per-entity workloads for the sketch store.
 * :mod:`repro.streams.turnstile` — turnstile workloads with deletions for
   the L0 algorithms.
 * :mod:`repro.streams.datasets` — synthetic packet traces, query logs, and
@@ -11,10 +12,12 @@
 
 from .datasets import FlowRecord, packet_trace, query_log, table_column
 from .generators import (
+    KeyedWorkload,
     distinct_items_stream,
     duplicated_union_streams,
     growing_then_repeating_stream,
     iter_item_chunks,
+    keyed_uniform_stream,
     low_bits_adversarial_stream,
     sequential_stream,
     uniform_random_stream,
@@ -40,6 +43,8 @@ __all__ = [
     "packet_trace",
     "query_log",
     "table_column",
+    "KeyedWorkload",
+    "keyed_uniform_stream",
     "distinct_items_stream",
     "duplicated_union_streams",
     "growing_then_repeating_stream",

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError
 from ..hashing.bitops import reverse_bits
@@ -41,6 +42,8 @@ __all__ = [
     "growing_then_repeating_stream",
     "duplicated_union_streams",
     "iter_item_chunks",
+    "KeyedWorkload",
+    "keyed_uniform_stream",
 ]
 
 
@@ -237,6 +240,116 @@ def growing_then_repeating_stream(
     items = list(identifiers)
     items.extend(rng.choice(identifiers) for _ in range(repeat_length))
     return MaterializedStream([Update(item, 1) for item in items], universe_size, name=name)
+
+
+@dataclass
+class KeyedWorkload:
+    """A keyed insertion-only workload: aligned per-update (key, item) arrays.
+
+    The input shape of the keyed sketch store
+    (:class:`repro.store.store.SketchStore`): update ``i`` inserts item
+    ``items[i]`` into the sketch of entity ``keys[i]``.  Ground truth is
+    the exact per-key distinct count.
+
+    Attributes:
+        universe_size: the identifier universe the items live in.
+        keys: integer ndarray of per-update entity keys.
+        items: ``uint64`` ndarray of per-update identifiers.
+        name: label for reports.
+    """
+
+    universe_size: int
+    keys: "object"
+    items: "object"
+    name: str = "keyed"
+    _truth: Optional[Dict[int, int]] = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def key_count(self) -> int:
+        """The number of distinct keys in the workload."""
+        return len(self.ground_truth())
+
+    def iter_grouped_batches(self, batch_size: int) -> Iterator[Tuple]:
+        """Yield aligned ``(keys, items)`` chunks of up to ``batch_size`` updates."""
+        if batch_size <= 0:
+            raise ParameterError("batch_size must be positive")
+        for start in range(0, len(self.items), batch_size):
+            stop = start + batch_size
+            yield self.keys[start:stop], self.items[start:stop]
+
+    def ground_truth(self) -> Dict[int, int]:
+        """Return the exact per-key distinct-item counts (computed once)."""
+        if self._truth is None:
+            if HAS_NUMPY:
+                pairs = np.stack(
+                    (
+                        np.asarray(self.keys, dtype=np.int64),
+                        np.asarray(self.items, dtype=np.int64),
+                    ),
+                    axis=1,
+                )
+                distinct = np.unique(pairs, axis=0)
+                touched, counts = np.unique(distinct[:, 0], return_counts=True)
+                self._truth = dict(
+                    zip(touched.tolist(), (int(c) for c in counts.tolist()))
+                )
+            else:  # pragma: no cover - numpy is a declared dependency
+                seen: Dict[int, set] = {}
+                for key, item in zip(self.keys, self.items):
+                    seen.setdefault(int(key), set()).add(int(item))
+                self._truth = {key: len(values) for key, values in seen.items()}
+        return self._truth
+
+
+def keyed_uniform_stream(
+    universe_size: int,
+    key_count: int,
+    length: int,
+    distinct_per_key: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: str = "keyed-uniform",
+) -> KeyedWorkload:
+    """Return a keyed workload of ``length`` updates over ``key_count`` entities.
+
+    Every update picks a uniform key; its item is uniform over the key's
+    own value pool (``distinct_per_key`` identifiers deterministically
+    derived from the key) when a pool size is given, or over the whole
+    universe otherwise.  This is the per-entity shape of the motivating
+    applications — many sketches, each seeing a modest stream — at a
+    controllable duplication level.
+
+    Args:
+        universe_size: size of the identifier universe.
+        key_count: number of distinct entity keys (``0 .. key_count-1``
+            are all possible; keys the RNG never draws stay absent).
+        length: total number of keyed updates.
+        distinct_per_key: optional per-key value-pool size (bounds each
+            key's exact distinct count).
+        seed: RNG seed.
+        name: label for reports.
+    """
+    _check_universe(universe_size)
+    if key_count <= 0:
+        raise ParameterError("key_count must be positive")
+    if length < 0:
+        raise ParameterError("length must be non-negative")
+    if distinct_per_key is not None and distinct_per_key <= 0:
+        raise ParameterError("distinct_per_key must be positive")
+    if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+        raise ParameterError("keyed_uniform_stream requires numpy")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, key_count, size=length, dtype=np.int64)
+    if distinct_per_key is None:
+        items = rng.integers(0, universe_size, size=length, dtype=np.uint64)
+    else:
+        draws = rng.integers(0, distinct_per_key, size=length, dtype=np.uint64)
+        items = (
+            keys.astype(np.uint64) * np.uint64(distinct_per_key) + draws
+        ) % np.uint64(universe_size)
+    return KeyedWorkload(universe_size, keys, items, name=name)
 
 
 def duplicated_union_streams(

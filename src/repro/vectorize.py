@@ -55,6 +55,9 @@ __all__ = [
     "mod_range",
     "mulmod_arrays",
     "lsb64_batch",
+    "group_slices",
+    "grouped_max_scatter",
+    "grouped_or_scatter",
 ]
 
 HAS_NUMPY = np is not None
@@ -502,6 +505,88 @@ def mulmod_arrays(
         residue = residue + np.uint64(2 * prime)
         return residue % np.uint64(prime)
     return (_to_object_array(left) * _to_object_array(right)) % prime
+
+
+# --------------------------------------------------------------------------
+# Grouped scatter reductions (the keyed sketch-store core).
+# --------------------------------------------------------------------------
+
+
+def group_slices(indices: "np.ndarray"):
+    """Sort a batch by group index and return the per-group structure.
+
+    The shared first half of every grouped scatter: one stable argsort
+    brings equal indices together, and the run boundaries identify each
+    touched group exactly once.
+
+    Args:
+        indices: integer ndarray of group indices (any values).
+
+    Returns:
+        ``(order, starts, touched)`` where ``order`` permutes the batch
+        into index-sorted position, ``starts`` marks the first sorted
+        position of each run, and ``touched`` holds each distinct index
+        once (in ascending order).  Empty inputs return empty arrays.
+    """
+    if len(indices) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    order = np.argsort(indices, kind="stable")
+    ordered = indices[order]
+    starts = np.flatnonzero(
+        np.concatenate((np.ones(1, dtype=bool), ordered[1:] != ordered[:-1]))
+    )
+    return order, starts, ordered[starts]
+
+
+def grouped_max_scatter(
+    target: "np.ndarray", indices: "np.ndarray", values: "np.ndarray"
+) -> None:
+    """Apply ``target[i] = max(target[i], v)`` for a whole batch, grouped.
+
+    The bulk register/counter reduction behind ``update_grouped``: the
+    batch is sorted by target index (:func:`group_slices`), each run is
+    collapsed with one ``np.maximum.reduceat`` pass, and each touched
+    cell is written once.  Identical to applying the pairs one at a time
+    in any order — maximum is commutative, associative, and idempotent —
+    and much faster than the buffered ``np.ufunc.at`` scatter on large
+    batches.
+
+    Args:
+        target: 1-D integer ndarray, mutated in place.
+        indices: positions into ``target`` (already range-validated by
+            the caller's hashing); duplicates reduce together.
+        values: candidate values; must fit ``target``'s dtype (callers
+            cap them at the counter width, as the scalar paths do).
+    """
+    order, starts, touched = group_slices(indices)
+    if len(touched) == 0:
+        return
+    maxima = np.maximum.reduceat(values[order], starts)
+    target[touched] = np.maximum(
+        target[touched], maxima.astype(target.dtype, copy=False)
+    )
+
+
+def grouped_or_scatter(
+    target: "np.ndarray", indices: "np.ndarray", masks: "np.ndarray"
+) -> None:
+    """Apply ``target[i] |= mask`` for a whole batch, grouped.
+
+    The bitmap counterpart of :func:`grouped_max_scatter` (OR is likewise
+    commutative, associative, and idempotent), used by the bit-plane
+    sketch arrays to set many bits across many bitmaps in one pass.
+
+    Args:
+        target: 1-D ``uint8`` byte buffer, mutated in place.
+        indices: byte positions into ``target``; duplicates OR together.
+        masks: per-entry ``uint8`` bit masks.
+    """
+    order, starts, touched = group_slices(indices)
+    if len(touched) == 0:
+        return
+    combined = np.bitwise_or.reduceat(masks[order], starts)
+    target[touched] |= combined
 
 
 # --------------------------------------------------------------------------
