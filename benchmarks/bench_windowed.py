@@ -1,0 +1,142 @@
+"""Sliding-window rollup throughput: memoized merge-rollup vs naive re-ingest.
+
+The tentpole gate of the windowed subsystem: a
+:class:`~repro.window.windowed.WindowedSketch` answers "distinct over
+the last ``k`` epochs" by merging a memoized closed-epoch rollup with
+the open epoch — one clone plus one merge per query, independent of the
+window's raw size — where the pre-windowed answer was to re-ingest the
+window's updates into a fresh sketch per query.
+
+Two query paths are timed over the same timestamped workload, asking
+every width of a query schedule once per simulated reporting tick:
+
+* ``rollup`` — ``estimate_window(k)`` on the ring (memoized suffix
+  merges over the closed epochs, one final merge with the open epoch);
+* ``re-ingest`` — a fresh same-seed sketch fed the window's raw updates
+  through ``update_batch``, then ``estimate()`` (the strongest
+  non-windowed implementation of the same query).
+
+Acceptance gate (asserted at full scale): the rollup path must answer
+the query schedule at least 10x faster than re-ingest for the
+``hyperloglog`` family at 32 epochs x ~31k updates.  The gate is
+skipped — with the measured table still printed — when the workload has
+been shrunk below full scale for a smoke run.
+
+A correctness check always runs: both paths must return *identical*
+estimates for every query (the rollup is bit-exact for
+shard-deterministic mergeable families).
+
+Environment knobs (for CI smoke runs and local experiments):
+
+* ``BENCH_WINDOW_EPOCHS`` — epoch count (default 32).
+* ``BENCH_WINDOW_ITEMS`` — total update count (default 1_000_000).
+* ``BENCH_WINDOW_QUERIES`` — reporting ticks timed (default 20).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH_UNIVERSE, emit, run_once
+
+from repro.estimators.registry import make_f0_estimator
+from repro.streams.generators import windowed_uniform_stream
+from repro.window import WindowedSketch
+
+#: Full-scale defaults; override via the environment for smoke runs.
+EPOCHS = int(os.environ.get("BENCH_WINDOW_EPOCHS", 32))
+STREAM_LENGTH = int(os.environ.get("BENCH_WINDOW_ITEMS", 1_000_000))
+QUERY_TICKS = int(os.environ.get("BENCH_WINDOW_QUERIES", 20))
+
+#: Window widths asked at every reporting tick.
+WIDTHS = [width for width in (1, 4, EPOCHS // 2, EPOCHS) if 1 <= width <= EPOCHS]
+
+#: Accuracy target (sizes the sketches).
+EPS = 0.05
+
+#: Family under the assertion gate and its required speedup.
+GATED_FAMILY = "hyperloglog"
+GATE_SPEEDUP = 10.0
+
+#: Scale below which the gate is skipped (smoke runs).
+GATE_EPOCHS = 32
+GATE_ITEMS = 1_000_000
+
+SEED = 13
+
+
+def _workload():
+    return windowed_uniform_stream(
+        BENCH_UNIVERSE,
+        epochs=EPOCHS,
+        updates_per_epoch=max(STREAM_LENGTH // EPOCHS, 1),
+        distinct_per_epoch=max((STREAM_LENGTH // EPOCHS) // 2, 1),
+        seed=20100610,
+    )
+
+
+def test_windowed_rollup_speedup(benchmark):
+    workload = _workload()
+
+    ring = WindowedSketch(
+        make_f0_estimator(GATED_FAMILY, BENCH_UNIVERSE, EPS, SEED),
+        retention=EPOCHS,
+    )
+    ingest_start = time.perf_counter()
+    ring.ingest_timestamped(workload.epochs, workload.items, batch_size=1 << 16)
+    ingest_seconds = time.perf_counter() - ingest_start
+
+    def timed_rollup():
+        start = time.perf_counter()
+        answers = []
+        for _ in range(QUERY_TICKS):
+            for width in WIDTHS:
+                answers.append(ring.estimate_window(width))
+        return time.perf_counter() - start, answers
+
+    def timed_reingest():
+        start = time.perf_counter()
+        answers = []
+        for _ in range(QUERY_TICKS):
+            for width in WIDTHS:
+                fresh = make_f0_estimator(GATED_FAMILY, BENCH_UNIVERSE, EPS, SEED)
+                _, window_items, _ = workload.window_slice(width)
+                fresh.update_batch(window_items)
+                answers.append(fresh.estimate())
+        return time.perf_counter() - start, answers
+
+    def run():
+        rollup_seconds, rollup_answers = timed_rollup()
+        reingest_seconds, reingest_answers = timed_reingest()
+        return rollup_seconds, rollup_answers, reingest_seconds, reingest_answers
+
+    rollup_seconds, rollup_answers, reingest_seconds, reingest_answers = run_once(
+        benchmark, run
+    )
+
+    # The rollup is exact: both paths must answer identically.
+    assert rollup_answers == reingest_answers
+
+    queries = QUERY_TICKS * len(WIDTHS)
+    speedup = reingest_seconds / rollup_seconds if rollup_seconds else float("inf")
+    emit(
+        "E13: windowed rollup vs naive re-ingest (%s, %d epochs, %d updates)"
+        % (GATED_FAMILY, EPOCHS, len(workload)),
+        "\n".join(
+            [
+                "ingest (once):    %8.3f s" % ingest_seconds,
+                "rollup:           %8.3f s  (%.1f queries/s over %d queries)"
+                % (rollup_seconds, queries / rollup_seconds, queries),
+                "re-ingest:        %8.3f s  (%.1f queries/s)"
+                % (reingest_seconds, queries / reingest_seconds),
+                "speedup:          %8.1fx" % speedup,
+            ]
+        ),
+    )
+
+    if EPOCHS >= GATE_EPOCHS and STREAM_LENGTH >= GATE_ITEMS:
+        assert speedup >= GATE_SPEEDUP, (
+            "windowed rollup speedup %.1fx below the %.0fx gate"
+            % (speedup, GATE_SPEEDUP)
+        )

@@ -3,6 +3,9 @@
 Reproduces the paper's network-motivation scenario (Section 1): a router
 tracks distinct flows per window with a small sketch and flags sources
 whose destination fan-out explodes (port scan / worm spread signature).
+Completed windows stay queryable as rolling windows (the sliding-window
+sketch rings of :mod:`repro.window`), so the example closes with the
+"distinct flows over the last k windows" view.
 
 Run with::
 
@@ -32,6 +35,8 @@ def main() -> None:
         window_packets=10_000,
         scan_fanout_threshold=500,
         seed=1,
+        mergeable=True,   # rolling multi-window queries merge-rollup
+        window_history=8,
     )
 
     print("Phase 1: normal traffic (%d packets, %d distinct flows)" % (
@@ -58,6 +63,19 @@ def main() -> None:
     final = monitor.flush()
     if final is not None:
         _print_scan_report(final)
+
+    print("\nRolling windows (merge-rollup over the retained window ring):")
+    for width in (1, 2, monitor.retained_windows()):
+        print(
+            "  distinct flows over the last %d window(s): ~%6.0f"
+            % (width, monitor.distinct_flows_last(width))
+        )
+    slow_scan_view = monitor.fanout_last(monitor.retained_windows())
+    widest = max(slow_scan_view, key=slow_scan_view.get)
+    print(
+        "  widest fan-out across all retained windows: source %d (~%.0f destinations)"
+        % (widest, slow_scan_view[widest])
+    )
 
     print(
         "\nPer-window sketch cost is a few kilobits regardless of traffic volume —"

@@ -51,6 +51,11 @@ The main entry points are:
   ``update_grouped(keys, items)`` ingesting a whole keyed batch in one
   hash pass plus a sort/group scatter (``SketchStore.for_family(
   "hyperloglog", n, seed=7)``).
+* :mod:`repro.window` — sliding-window distinct counting: a bounded
+  ring of per-epoch sketches answering "distinct over the last ``k``
+  epochs" by memoized merge-rollup (``WindowedSketch(sketch,
+  retention=64)``; keyed variant ``WindowedSketchStore``; epoch-range
+  sharding via ``parallel_ingest_windowed``).
 * :mod:`repro.analysis.runner` — run any estimator over any stream, with
   optional ``batch_size`` for batched driving and ``workers`` for
   sharded multi-process ingestion.
@@ -92,8 +97,11 @@ from .parallel import (
     parallel_ingest_keyed,
     parallel_ingest_l0,
     parallel_ingest_updates_into,
+    parallel_ingest_windowed,
+    parallel_ingest_windowed_keyed,
 )
 from .store import SketchArray, SketchStore, make_sketch_array, sketch_array_family_names
+from .window import WindowedSketch, WindowedSketchStore
 
 __all__ = [
     "__version__",
@@ -126,8 +134,12 @@ __all__ = [
     "parallel_ingest_keyed",
     "parallel_ingest_l0",
     "parallel_ingest_updates_into",
+    "parallel_ingest_windowed",
+    "parallel_ingest_windowed_keyed",
     "SketchArray",
     "SketchStore",
     "make_sketch_array",
     "sketch_array_family_names",
+    "WindowedSketch",
+    "WindowedSketchStore",
 ]

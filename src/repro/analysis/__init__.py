@@ -20,10 +20,12 @@ from .runner import (
 from .sweeps import (
     KeyedSweepPoint,
     SweepPoint,
+    WindowedSweepPoint,
     accuracy_sweep,
     keyed_accuracy_sweep,
     l0_accuracy_sweep,
     space_sweep,
+    windowed_accuracy_sweep,
 )
 from .tables import Table, format_bits
 
@@ -42,10 +44,12 @@ __all__ = [
     "run_l0_by_name",
     "KeyedSweepPoint",
     "SweepPoint",
+    "WindowedSweepPoint",
     "accuracy_sweep",
     "keyed_accuracy_sweep",
     "l0_accuracy_sweep",
     "space_sweep",
+    "windowed_accuracy_sweep",
     "Table",
     "format_bits",
 ]

@@ -31,9 +31,11 @@ __all__ = [
     "DEFAULT_SWEEP_BATCH",
     "SweepPoint",
     "KeyedSweepPoint",
+    "WindowedSweepPoint",
     "accuracy_sweep",
     "l0_accuracy_sweep",
     "keyed_accuracy_sweep",
+    "windowed_accuracy_sweep",
     "space_sweep",
 ]
 
@@ -322,6 +324,101 @@ def keyed_accuracy_sweep(
                     mean_relative_error=sum(mean_errors) / len(mean_errors),
                     max_relative_error=max(max_errors),
                     mean_space_bits=sum(spaces) / len(spaces),
+                )
+            )
+    return points
+
+
+@dataclass
+class WindowedSweepPoint:
+    """Aggregated result of one (algorithm, window-width) cell.
+
+    Attributes:
+        algorithm: registry name of the F0 algorithm.
+        window: window width in epochs.
+        truth: the workload's exact distinct count over that window.
+        summary: error statistics across seeds.
+        within_band: fraction of trials inside ``(1 +/- eps)``.
+    """
+
+    algorithm: str
+    window: int
+    truth: int
+    summary: ErrorSummary
+    within_band: float
+
+
+def windowed_accuracy_sweep(
+    algorithms: Sequence[str],
+    workload_factory: Callable[[int], "object"],
+    window_widths: Sequence[int],
+    eps: float,
+    seeds: Sequence[int],
+    workload_seed: int = 12345,
+    batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
+) -> List[WindowedSweepPoint]:
+    """Sweep windowed rollup accuracy over a timestamped workload.
+
+    The sliding-window mode of the sweep harness: every (algorithm,
+    seed) trial ingests the whole timestamped workload into one
+    :class:`~repro.window.windowed.WindowedSketch` and then answers each
+    requested window width by merge-rollup; errors are scored against
+    the exact windowed ground truth
+    (:meth:`~repro.streams.generators.WindowedWorkload
+    .ground_truth_window`).  Because the rollup is exact for mergeable
+    families, the per-window errors have the same distribution as
+    whole-stream runs over just the window's updates — which is the
+    point this sweep lets one verify empirically.
+
+    Args:
+        algorithms: mergeable F0 registry names.
+        workload_factory: callable building the timestamped workload
+            (:class:`repro.streams.generators.WindowedWorkload`) from a
+            seed; the same workload serves every algorithm.
+        window_widths: window widths (in epochs) to score.
+        eps: accuracy target used to size the sketches.
+        seeds: estimator seeds (one independent trial per seed).
+        workload_seed: the workload seed.
+        batch_size: per-epoch ``update_batch`` chunk length.
+    """
+    from ..estimators.registry import make_f0_estimator
+    from ..window import WindowedSketch
+
+    if not algorithms or not window_widths or not seeds:
+        raise ParameterError(
+            "windowed_accuracy_sweep needs algorithms, window widths, and seeds"
+        )
+    workload = workload_factory(workload_seed)
+    widths = sorted(set(int(width) for width in window_widths))
+    if widths[0] < 1:
+        raise ParameterError("window widths must be at least 1 epoch")
+    retention = max(widths[-1], 1)
+    truths = {width: workload.ground_truth_window(width) for width in widths}
+    estimates: Dict[Tuple[str, int], List[float]] = {
+        (algorithm, width): [] for algorithm in algorithms for width in widths
+    }
+    for algorithm in algorithms:
+        for seed in seeds:
+            ring = WindowedSketch(
+                make_f0_estimator(algorithm, workload.universe_size, eps, seed),
+                retention=retention,
+            )
+            ring.ingest_timestamped(
+                workload.epochs, workload.items, batch_size=batch_size
+            )
+            for width in widths:
+                estimates[(algorithm, width)].append(ring.estimate_window(width))
+    points: List[WindowedSweepPoint] = []
+    for algorithm in algorithms:
+        for width in widths:
+            cell = estimates[(algorithm, width)]
+            points.append(
+                WindowedSweepPoint(
+                    algorithm=algorithm,
+                    window=width,
+                    truth=truths[width],
+                    summary=summarize_errors(cell, truths[width]),
+                    within_band=within_band_rate(cell, truths[width], eps),
                 )
             )
     return points

@@ -8,13 +8,20 @@ signature of a port scan; a jump in distinct sources hitting one service
 is the signature of a DDoS or worm spread (the Code Red measurement the
 paper cites).
 
-:class:`FlowCardinalityMonitor` wraps a KNW sketch per tracked dimension
-and keeps a short history of per-window distinct counts so simple
-threshold detectors can run on top of it.  With
-``track_active_flows=True`` it additionally maintains a turnstile L0
-sketch of the *currently open* flows (flow-open events insert, flow-close
-events delete), fed through the vectorized turnstile batch pipeline —
-the paper's Section 4 deletion capability as a monitoring feature.
+:class:`FlowCardinalityMonitor` keeps one *sliding-window ring* of KNW
+sketches per tracked dimension (:class:`repro.window.windowed
+.WindowedSketch`): each reporting window is an epoch, closed epochs stay
+queryable for ``window_history`` windows, and "distinct flows over the
+last ``k`` windows" is answered by exact merge-rollup
+(:meth:`distinct_flows_last`) instead of the old reset-and-forget
+per-window scalars.  The per-source fan-out detector rides the same
+ring as a :class:`repro.window.windowed.WindowedSketchStore` of
+linear-counting bitmaps, so scan fan-outs are queryable over multi-window
+spans too.  With ``track_active_flows=True`` the monitor additionally
+maintains a turnstile L0 sketch of the *currently open* flows (flow-open
+events insert, flow-close events delete), fed through the vectorized
+turnstile batch pipeline — the paper's Section 4 deletion capability as
+a monitoring feature.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from ..parallel import parallel_merge_shards
 from ..store import LinearCountingSketchArray, SketchStore
 from ..streams.datasets import FlowRecord
 from ..vectorize import HAS_NUMPY, np
+from ..window import WindowedSketch, WindowedSketchStore
 
 __all__ = ["FlowCardinalityMonitor", "WindowReport"]
 
@@ -59,11 +67,18 @@ class WindowReport:
 class FlowCardinalityMonitor:
     """Streaming monitor of distinct-flow statistics over packet windows.
 
+    Each reporting window is one epoch of four sliding-window rings
+    (flows, sources, destinations, per-source fan-out); completed windows
+    stay queryable for ``window_history`` windows via the rolling
+    ``*_last(k)`` methods, answered by exact merge-rollup rather than by
+    re-observing any traffic.
+
     Attributes:
         universe_size: size of the identifier universe flows are folded into.
         eps: relative-error target for the sketches.
         scan_fanout_threshold: per-source distinct-destination count above
             which the source is flagged as a scan suspect.
+        window_history: windows retained per ring (open window included).
     """
 
     def __init__(
@@ -75,6 +90,7 @@ class FlowCardinalityMonitor:
         seed: int = 1,
         mergeable: bool = False,
         track_active_flows: bool = False,
+        window_history: int = 8,
     ) -> None:
         """Create the monitor.
 
@@ -88,9 +104,10 @@ class FlowCardinalityMonitor:
             mergeable: build the per-window sketches as mergeable
                 :class:`~repro.core.knw.KNWDistinctCounter` instances
                 instead of the O(1)-time fast variant (which does not
-                merge).  Required for :meth:`ingest_window_shards`, the
+                merge).  Required for :meth:`ingest_window_shards` (the
                 per-link sharded deployment where several taps' traffic
-                is union-counted.
+                is union-counted) and for the multi-window rolling
+                queries (:meth:`distinct_flows_last` with ``k > 1``).
             track_active_flows: additionally maintain a turnstile L0
                 sketch of the *currently open* flows — flow-open events
                 insert, flow-close events delete — queried via
@@ -99,16 +116,22 @@ class FlowCardinalityMonitor:
                 in one window may close many windows later), which is
                 exactly why the deletion path needs the L0 machinery
                 rather than an F0 sketch.
+            window_history: number of reporting windows each sliding ring
+                retains (the open window included); the rolling queries
+                accept any width up to this.
         """
         if window_packets <= 0:
             raise ParameterError("window_packets must be positive")
         if scan_fanout_threshold <= 0:
             raise ParameterError("scan_fanout_threshold must be positive")
+        if window_history <= 0:
+            raise ParameterError("window_history must be positive")
         self.universe_size = universe_size
         self.eps = eps
         self.window_packets = window_packets
         self.scan_fanout_threshold = scan_fanout_threshold
         self.mergeable = mergeable
+        self.window_history = window_history
         self._seed = seed
         self._window_index = 0
         self._packets_in_window = 0
@@ -118,40 +141,47 @@ class FlowCardinalityMonitor:
             self._active_flows = KNWHammingNormEstimator(
                 universe_size, eps=eps, seed=seed + 4
             )
-        # Per-source fan-out bitmaps are intentionally tiny: the detector
-        # only needs to notice fan-outs in the hundreds, so a small
-        # linear-counting bitmap per active source suffices.  They live in
-        # a keyed sketch store — one (sources x bits) bit-plane matrix —
-        # so a window's whole packet batch updates every active source's
-        # bitmap in one grouped vectorized sweep instead of one Python
-        # call per source.
-        self._fanout_bits = max(8 * scan_fanout_threshold, 1024)
-        self._new_window_sketches()
-
-    def _new_window_sketches(self) -> None:
-        if self.mergeable:
+        if mergeable:
             # The polynomial rough-estimator family keeps the sketch fully
             # seed-determined (shard_deterministic), so per-link sharded
-            # windows are bit-identical to observing the union serially.
-            def sketch(seed):
+            # windows are bit-identical to observing the union serially
+            # and the window rollups merge exactly.
+            def sketch(sketch_seed):
                 return KNWDistinctCounter(
-                    self.universe_size,
-                    eps=self.eps,
-                    seed=seed,
+                    universe_size,
+                    eps=eps,
+                    seed=sketch_seed,
                     rough_uniform_family=False,
                 )
         else:
-            def sketch(seed):
+            def sketch(sketch_seed):
                 return FastKNWDistinctCounter(
-                    self.universe_size, eps=self.eps, seed=seed
+                    universe_size, eps=eps, seed=sketch_seed
                 )
-        self._flows = sketch(self._seed)
-        self._sources = sketch(self._seed + 1)
-        self._destinations = sketch(self._seed + 2)
-        self._fanout_store = SketchStore(
-            LinearCountingSketchArray(
-                self.universe_size, bits=self._fanout_bits, seed=self._seed + 3
-            )
+        # One sliding-window ring per tracked dimension: each reporting
+        # window is one epoch, so closed windows stay queryable as exact
+        # merge-rollups for window_history windows instead of being
+        # thrown away at every roll.
+        self._flows = WindowedSketch(sketch(seed), retention=window_history)
+        self._sources = WindowedSketch(sketch(seed + 1), retention=window_history)
+        self._destinations = WindowedSketch(
+            sketch(seed + 2), retention=window_history
+        )
+        # Per-source fan-out bitmaps are intentionally tiny: the detector
+        # only needs to notice fan-outs in the hundreds, so a small
+        # linear-counting bitmap per active source suffices.  They live in
+        # a keyed sketch store — one (sources x bits) bit-plane matrix per
+        # window epoch — so a window's whole packet batch updates every
+        # active source's bitmap in one grouped vectorized sweep instead
+        # of one Python call per source.
+        self._fanout_bits = max(8 * scan_fanout_threshold, 1024)
+        self._fanout_store = WindowedSketchStore(
+            SketchStore(
+                LinearCountingSketchArray(
+                    universe_size, bits=self._fanout_bits, seed=seed + 3
+                )
+            ),
+            retention=window_history,
         )
 
     def observe(self, record: FlowRecord) -> Optional[WindowReport]:
@@ -284,9 +314,12 @@ class FlowCardinalityMonitor:
             return [[extract(record) for record in link] for link in links]
 
         fields = [
-            (self._flows, field_shards(lambda r: r.flow_id(universe))),
-            (self._sources, field_shards(lambda r: r.source % universe)),
-            (self._destinations, field_shards(lambda r: r.destination % universe)),
+            (self._flows.current, field_shards(lambda r: r.flow_id(universe))),
+            (self._sources.current, field_shards(lambda r: r.source % universe)),
+            (
+                self._destinations.current,
+                field_shards(lambda r: r.destination % universe),
+            ),
         ]
         populated_links = sum(1 for link in links if len(link) > 0)
         if populated_links > 1 and (workers is None or workers > 1):
@@ -388,21 +421,26 @@ class FlowCardinalityMonitor:
     def _roll_window(self) -> WindowReport:
         suspects = [
             source
-            for source, estimate in self._fanout_store.estimate_all().items()
+            for source, estimate in self._fanout_store.estimate_current().items()
             if estimate >= self.scan_fanout_threshold
         ]
         report = WindowReport(
             window_index=self._window_index,
             packets=self._packets_in_window,
-            distinct_flows=self._flows.estimate(),
-            distinct_sources=self._sources.estimate(),
-            distinct_destinations=self._destinations.estimate(),
+            distinct_flows=self._flows.estimate_current(),
+            distinct_sources=self._sources.estimate_current(),
+            distinct_destinations=self._destinations.estimate_current(),
             scan_suspects=sorted(suspects),
         )
         self._reports.append(report)
         self._window_index += 1
         self._packets_in_window = 0
-        self._new_window_sketches()
+        # The completed window stays queryable: rolling just advances the
+        # four epoch rings (evicting beyond window_history).
+        self._flows.advance_epoch()
+        self._sources.advance_epoch()
+        self._destinations.advance_epoch()
+        self._fanout_store.advance_epoch()
         return report
 
     def flush(self) -> Optional[WindowReport]:
@@ -418,4 +456,36 @@ class FlowCardinalityMonitor:
 
     def current_distinct_flows(self) -> float:
         """Return the running estimate of distinct flows in the open window."""
-        return self._flows.estimate()
+        return self._flows.estimate_current()
+
+    # -- rolling multi-window queries ------------------------------------------------
+
+    def retained_windows(self) -> int:
+        """Number of windows currently queryable (the open one included)."""
+        return self._flows.retained_epochs
+
+    def distinct_flows_last(self, windows: int) -> float:
+        """Estimate distinct flows over the newest ``windows`` windows.
+
+        The open (partial) window counts as one; ``windows`` may reach
+        :meth:`retained_windows`.  Widths above 1 merge-rollup the ring's
+        closed epochs, which requires ``mergeable=True``.
+        """
+        return self._flows.estimate_window(windows)
+
+    def distinct_sources_last(self, windows: int) -> float:
+        """Estimate distinct source addresses over the newest ``windows`` windows."""
+        return self._sources.estimate_window(windows)
+
+    def distinct_destinations_last(self, windows: int) -> float:
+        """Estimate distinct destination addresses over the newest ``windows`` windows."""
+        return self._destinations.estimate_window(windows)
+
+    def fanout_last(self, windows: int) -> dict:
+        """Per-source distinct-destination fan-out over the newest ``windows`` windows.
+
+        The multi-window scan view: a slow scanner that stays under the
+        per-window threshold still accumulates fan-out across the rolled
+        windows.  Returns every in-window source's estimate.
+        """
+        return self._fanout_store.estimate_window(windows)

@@ -47,7 +47,7 @@ from .estimators.registry import (
     make_f0_estimator,
     make_l0_estimator,
 )
-from .exceptions import ParameterError
+from .exceptions import ParameterError, UpdateError
 from .streams.model import MaterializedStream
 from .vectorize import HAS_NUMPY, np
 
@@ -56,6 +56,7 @@ __all__ = [
     "shard_items",
     "shard_updates",
     "shard_keyed_updates",
+    "shard_epoch_slices",
     "parallel_merge_shards",
     "parallel_merge_update_shards",
     "parallel_ingest_into",
@@ -63,6 +64,8 @@ __all__ = [
     "parallel_ingest_f0",
     "parallel_ingest_l0",
     "parallel_ingest_keyed",
+    "parallel_ingest_windowed",
+    "parallel_ingest_windowed_keyed",
     "mergeable_f0_names",
     "mergeable_l0_names",
     "default_workers",
@@ -714,6 +717,272 @@ def parallel_ingest_keyed(
     for blob in blobs:
         store.merge_from(serialize.loads(blob))
     return store
+
+
+# ---------------------------------------------------------------------------
+# Windowed (sliding-window) sharded ingestion.
+#
+# A WindowedSketch / WindowedSketchStore is a ring of per-epoch sketches;
+# the natural shard axis for a timestamped stream is the *epoch range*:
+# contiguous groups of whole epochs go to worker processes, each worker
+# builds every epoch in its range from the ring's empty epoch template
+# (exactly what sequential timestamped ingestion does to its open epoch),
+# and the coordinator stitches the epoch sketches back in epoch order.
+# Because an epoch never spans shards, the merge-back is wholesale
+# adoption of each worker's epochs — bit-identical to sequential
+# ingestion for every family, keyed or not.
+# ---------------------------------------------------------------------------
+
+
+def shard_epoch_slices(epochs, shards: int) -> List[Tuple[int, int]]:
+    """Partition a timestamped stream into epoch-aligned index ranges.
+
+    The windowed counterpart of :func:`shard_items`: the distinct epochs
+    are split into ``shards`` contiguous groups (so no epoch ever spans
+    two shards) and each group maps back to one contiguous ``(start,
+    stop)`` range of update indices.  With fewer epochs than shards the
+    surplus ranges are empty.
+
+    Args:
+        epochs: per-update epoch numbers, non-decreasing.
+        shards: positive shard count.
+    """
+    from .window.windowed import epoch_runs
+
+    if shards <= 0:
+        raise ParameterError("shard count must be positive")
+    runs = epoch_runs(epochs)
+    ranges: List[Tuple[int, int]] = []
+    if not runs:
+        return [(0, 0)] * shards
+    groups = np.array_split(np.arange(len(runs)), shards)
+    for group in groups:
+        if len(group) == 0:
+            ranges.append((0, 0))
+        else:
+            ranges.append((runs[int(group[0])][1], runs[int(group[-1])][2]))
+    return ranges
+
+
+def _ingest_window_shard_worker(
+    payload: Tuple[str, bytes, bool, List[Tuple], Optional[int]]
+) -> List[Tuple[int, bytes]]:
+    """Worker body: build every epoch sketch of one epoch range.
+
+    Each run revives the ring's empty epoch template and feeds it the
+    run's updates through the shared chunking policy
+    (:func:`repro.window.windowed.ingest_epoch_sketch`), so the shipped
+    epoch states are byte-identical to the ones sequential ingestion
+    would have built in place.
+    """
+    from .window.windowed import ingest_epoch_sketch, ingest_epoch_store
+
+    kind, template, turnstile, runs, batch_size = payload
+    out: List[Tuple[int, bytes]] = []
+    for run in runs:
+        if kind == "store":
+            epoch, keys, items, deltas = run
+            built = ingest_epoch_store(template, keys, items, deltas, batch_size)
+        else:
+            epoch, items, deltas = run
+            built = ingest_epoch_sketch(
+                template, items, deltas, batch_size, turnstile
+            )
+        out.append((int(epoch), built.to_bytes()))
+    return out
+
+
+def _run_window_payloads(
+    payloads: List[Tuple],
+    workers: Optional[int],
+    execution: Optional[str],
+    executor: Optional[Executor],
+) -> List[List[Tuple[int, bytes]]]:
+    """Fan the epoch-range payloads out (same execution modes as above)."""
+    if executor is not None:
+        return list(executor.map(_ingest_window_shard_worker, payloads))
+    if workers is None:
+        workers = default_workers()
+    if workers <= 0:
+        raise ParameterError("workers must be positive")
+    workers = min(workers, len(payloads))
+    if execution is None:
+        execution = "processes" if workers > 1 else "inline"
+    if execution not in ("processes", "inline"):
+        raise ParameterError("execution must be 'processes' or 'inline'")
+    if execution == "processes":
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_ingest_window_shard_worker, payloads))
+    return [_ingest_window_shard_worker(payload) for payload in payloads]
+
+
+def _window_shard_ranges(epochs, workers, shards) -> List[Tuple[int, int]]:
+    if workers is None and shards is None:
+        workers = default_workers()
+    count = shards if shards is not None else workers
+    return [
+        span for span in shard_epoch_slices(epochs, count) if span[1] > span[0]
+    ]
+
+
+def parallel_ingest_windowed(
+    window,
+    epochs,
+    items,
+    deltas=None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    execution: Optional[str] = None,
+    executor: Optional[Executor] = None,
+):
+    """Shard a timestamped stream by epoch range and ingest it into ``window``.
+
+    Equivalent to ``window.ingest_timestamped(epochs, items, deltas,
+    batch_size=batch_size)`` — including bit-identical epoch states,
+    since every epoch is built wholly inside one shard from the ring's
+    empty epoch template and adopted back in epoch order
+    (:meth:`~repro.window.windowed._EpochRing.load_epoch_sketches`) —
+    with the epoch construction fanned out over worker processes.
+
+    Args:
+        window: the target :class:`~repro.window.windowed.WindowedSketch`
+            (mutated in place).
+        epochs: one non-decreasing epoch number per update; none may
+            precede the window's open epoch.
+        items: identifiers, aligned with ``epochs``.
+        deltas: signed deltas for turnstile families.
+        workers: process count (defaults to the CPU count).
+        shards: epoch-range count (defaults to ``workers``).
+        batch_size: per-epoch ``update_batch`` chunk length (``None`` =
+            one batch per epoch run), applied identically by sequential
+            and sharded ingestion.
+        execution: ``"processes"``, ``"inline"``, or ``None`` to pick
+            automatically.
+        executor: an existing pool to reuse (``workers``/``execution``
+            are then ignored).
+
+    Returns:
+        ``window``, for chaining.
+    """
+    from .window.windowed import WindowedSketch, epoch_runs
+
+    if not isinstance(window, WindowedSketch):
+        raise ParameterError("parallel_ingest_windowed expects a WindowedSketch")
+    if len(epochs) != len(items):
+        raise ParameterError("windowed ingestion needs one epoch per update")
+    # Mirror ingest_timestamped's model validation up front, so the
+    # outcome does not depend on the shard count.
+    if window.turnstile:
+        if deltas is None:
+            raise UpdateError("turnstile windowed ingestion needs deltas")
+        if len(deltas) != len(items):
+            raise UpdateError("windowed ingestion needs one delta per item")
+    elif deltas is not None:
+        raise UpdateError("insertion-only windowed ingestion takes no deltas")
+    work = _window_shard_ranges(epochs, workers, shards)
+    if not work:
+        return window
+    if len(work) == 1:
+        start, stop = work[0]
+        window.ingest_timestamped(
+            epochs[start:stop],
+            items[start:stop],
+            None if deltas is None else deltas[start:stop],
+            batch_size=batch_size,
+        )
+        return window
+    payloads = []
+    for start, stop in work:
+        runs = [
+            (
+                epoch,
+                items[start + run_start : start + run_stop],
+                None
+                if deltas is None
+                else deltas[start + run_start : start + run_stop],
+            )
+            for epoch, run_start, run_stop in epoch_runs(epochs[start:stop])
+        ]
+        payloads.append(
+            ("sketch", window.template_bytes, window.turnstile, runs, batch_size)
+        )
+    results = _run_window_payloads(payloads, workers, execution, executor)
+    for shard_result in results:
+        window.load_epoch_sketches(
+            (epoch, serialize.loads(blob)) for epoch, blob in shard_result
+        )
+    return window
+
+
+def parallel_ingest_windowed_keyed(
+    window,
+    epochs,
+    keys,
+    items,
+    deltas=None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    execution: Optional[str] = None,
+    executor: Optional[Executor] = None,
+):
+    """Shard a timestamped *keyed* stream by epoch range into a windowed store.
+
+    The :class:`~repro.window.windowed.WindowedSketchStore` counterpart
+    of :func:`parallel_ingest_windowed`: each worker builds whole epoch
+    *stores* from the ring's empty store template via grouped vectorized
+    ingestion, and the coordinator adopts them in epoch order.  Epochs
+    never span shards, so — as with key-range sharding — the result is
+    exact for max/OR families and additive turnstile families alike.
+    """
+    from .window.windowed import WindowedSketchStore, epoch_runs
+
+    if not isinstance(window, WindowedSketchStore):
+        raise ParameterError(
+            "parallel_ingest_windowed_keyed expects a WindowedSketchStore"
+        )
+    if len(keys) != len(items):
+        raise ParameterError("windowed keyed ingestion needs one key per item")
+    if len(epochs) != len(items):
+        raise ParameterError("windowed ingestion needs one epoch per update")
+    if deltas is not None and len(deltas) != len(items):
+        raise ParameterError("windowed keyed ingestion needs one delta per item")
+    work = _window_shard_ranges(epochs, workers, shards)
+    if not work:
+        return window
+    if len(work) == 1:
+        start, stop = work[0]
+        window.ingest_timestamped(
+            epochs[start:stop],
+            keys[start:stop],
+            items[start:stop],
+            None if deltas is None else deltas[start:stop],
+            batch_size=batch_size,
+        )
+        return window
+    payloads = []
+    for start, stop in work:
+        runs = [
+            (
+                epoch,
+                keys[start + run_start : start + run_stop],
+                items[start + run_start : start + run_stop],
+                None
+                if deltas is None
+                else deltas[start + run_start : start + run_stop],
+            )
+            for epoch, run_start, run_stop in epoch_runs(epochs[start:stop])
+        ]
+        payloads.append(
+            ("store", window.template_bytes, window.turnstile, runs, batch_size)
+        )
+    results = _run_window_payloads(payloads, workers, execution, executor)
+    for shard_result in results:
+        window.load_epoch_sketches(
+            (epoch, serialize.loads(blob)) for epoch, blob in shard_result
+        )
+    return window
 
 
 _MERGEABLE_CACHE: Optional[Dict[str, bool]] = None

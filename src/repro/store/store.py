@@ -212,16 +212,22 @@ class SketchStore(SerializableState):
         self._array.ingest_validated(rows, items, deltas)
 
     def update_batch(self, key, items, deltas=None) -> None:
-        """Bulk-ingest one key's updates (creating its sketch on first use)."""
+        """Bulk-ingest one key's updates (creating its sketch on first use).
+
+        An empty batch is a complete no-op: like the equivalent
+        :meth:`update` loop and :meth:`update_grouped` call, it registers
+        no key, so all three ingestion paths build byte-identical stores.
+        """
         items, deltas = self._array.validate_batch(items, deltas)
+        if not len(items):
+            return
         row = self._key_to_row.get(key)
         if row is None:
             self.add_keys((key,))
             row = self._key_to_row[key]
-        if len(items):
-            self._array.ingest_validated(
-                np.full(len(items), row, dtype=np.int64), items, deltas
-            )
+        self._array.ingest_validated(
+            np.full(len(items), row, dtype=np.int64), items, deltas
+        )
 
     # -- reporting -------------------------------------------------------------------
 

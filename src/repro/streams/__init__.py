@@ -2,8 +2,9 @@
 
 * :mod:`repro.streams.model` — update/stream value types and ground truth.
 * :mod:`repro.streams.generators` — insertion-only workloads (uniform,
-  Zipf, sequential, adversarial, grow-then-repeat, union pairs) and
-  keyed per-entity workloads for the sketch store.
+  Zipf, sequential, adversarial, grow-then-repeat, union pairs), keyed
+  per-entity workloads for the sketch store, and timestamped workloads
+  for the sliding-window layer.
 * :mod:`repro.streams.turnstile` — turnstile workloads with deletions for
   the L0 algorithms.
 * :mod:`repro.streams.datasets` — synthetic packet traces, query logs, and
@@ -13,6 +14,7 @@
 from .datasets import FlowRecord, packet_trace, query_log, table_column
 from .generators import (
     KeyedWorkload,
+    WindowedWorkload,
     distinct_items_stream,
     duplicated_union_streams,
     growing_then_repeating_stream,
@@ -21,6 +23,7 @@ from .generators import (
     low_bits_adversarial_stream,
     sequential_stream,
     uniform_random_stream,
+    windowed_uniform_stream,
     zipf_stream,
 )
 from .model import (
@@ -45,6 +48,8 @@ __all__ = [
     "table_column",
     "KeyedWorkload",
     "keyed_uniform_stream",
+    "WindowedWorkload",
+    "windowed_uniform_stream",
     "distinct_items_stream",
     "duplicated_union_streams",
     "growing_then_repeating_stream",

@@ -43,6 +43,8 @@ __all__ = [
     "duplicated_union_streams",
     "iter_item_chunks",
     "KeyedWorkload",
+    "WindowedWorkload",
+    "windowed_uniform_stream",
     "keyed_uniform_stream",
 ]
 
@@ -350,6 +352,127 @@ def keyed_uniform_stream(
             keys.astype(np.uint64) * np.uint64(distinct_per_key) + draws
         ) % np.uint64(universe_size)
     return KeyedWorkload(universe_size, keys, items, name=name)
+
+
+@dataclass
+class WindowedWorkload:
+    """A timestamped workload: aligned per-update (epoch, item[, delta]) arrays.
+
+    The input shape of the sliding-window layer
+    (:class:`repro.window.windowed.WindowedSketch`): update ``i`` lands
+    in epoch ``epochs[i]`` (non-decreasing — streams arrive in time
+    order).  Ground truth is the exact distinct count over any suffix of
+    epochs, i.e. the answer to "how many distinct identifiers in the
+    last ``k`` windows".
+
+    Attributes:
+        universe_size: the identifier universe the items live in.
+        epochs: non-decreasing ``int64`` ndarray of per-update epochs.
+        items: ``uint64`` ndarray of per-update identifiers.
+        deltas: optional ``int64`` ndarray of signed deltas (turnstile
+            workloads); ``None`` for insertion-only workloads.
+        name: label for reports.
+    """
+
+    universe_size: int
+    epochs: "object"
+    items: "object"
+    deltas: Optional["object"] = None
+    name: str = "windowed"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def epoch_count(self) -> int:
+        """Number of epochs spanned, first to last (gaps included)."""
+        if len(self.items) == 0:
+            return 0
+        return int(self.epochs[-1]) - int(self.epochs[0]) + 1
+
+    def window_slice(self, k: int) -> Tuple["object", "object", Optional["object"]]:
+        """Return the raw updates of the newest ``k`` epochs.
+
+        Args:
+            k: window width in epochs, counting back from the final
+                (most recent) epoch.
+
+        Returns:
+            ``(epochs, items, deltas)`` array views over the window.
+        """
+        if k < 1:
+            raise ParameterError("window width must be at least 1 epoch")
+        if len(self.items) == 0:
+            return self.epochs[:0], self.items[:0], None if self.deltas is None else self.deltas[:0]
+        first = int(self.epochs[-1]) - k + 1
+        start = int(np.searchsorted(self.epochs, first, side="left"))
+        return (
+            self.epochs[start:],
+            self.items[start:],
+            None if self.deltas is None else self.deltas[start:],
+        )
+
+    def ground_truth_window(self, k: int) -> int:
+        """Exact distinct count (F0) / non-zero count (L0) of the last ``k`` epochs."""
+        _, items, deltas = self.window_slice(k)
+        if deltas is None:
+            return int(len(np.unique(items)))
+        totals: Dict[int, int] = {}
+        for item, delta in zip(items.tolist(), deltas.tolist()):
+            totals[item] = totals.get(item, 0) + delta
+        return sum(1 for value in totals.values() if value != 0)
+
+    def ground_truth_all_windows(self) -> List[int]:
+        """Exact window answers for every width 1..epoch_count."""
+        return [
+            self.ground_truth_window(k) for k in range(1, self.epoch_count + 1)
+        ]
+
+
+def windowed_uniform_stream(
+    universe_size: int,
+    epochs: int,
+    updates_per_epoch: int,
+    distinct_per_epoch: Optional[int] = None,
+    seed: Optional[int] = None,
+    name: str = "windowed-uniform",
+) -> WindowedWorkload:
+    """Return a timestamped workload of ``epochs`` equal-sized epochs.
+
+    Each epoch draws its items uniformly — over the whole universe, or
+    over an epoch-local pool of ``distinct_per_epoch`` identifiers
+    (deterministically derived from the epoch number) when a pool size
+    is given, so consecutive windows genuinely differ and the windowed
+    ground truth exercises the rollup.
+
+    Args:
+        universe_size: size of the identifier universe.
+        epochs: number of epochs (time buckets).
+        updates_per_epoch: updates drawn per epoch.
+        distinct_per_epoch: optional per-epoch value-pool size.
+        seed: RNG seed.
+        name: label for reports.
+    """
+    _check_universe(universe_size)
+    if epochs <= 0:
+        raise ParameterError("epochs must be positive")
+    if updates_per_epoch < 0:
+        raise ParameterError("updates_per_epoch must be non-negative")
+    if distinct_per_epoch is not None and distinct_per_epoch <= 0:
+        raise ParameterError("distinct_per_epoch must be positive")
+    if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+        raise ParameterError("windowed_uniform_stream requires numpy")
+    rng = np.random.default_rng(seed)
+    length = epochs * updates_per_epoch
+    epoch_column = np.repeat(np.arange(epochs, dtype=np.int64), updates_per_epoch)
+    if distinct_per_epoch is None:
+        items = rng.integers(0, universe_size, size=length, dtype=np.uint64)
+    else:
+        draws = rng.integers(0, distinct_per_epoch, size=length, dtype=np.uint64)
+        items = (
+            epoch_column.astype(np.uint64) * np.uint64(distinct_per_epoch) + draws
+        ) % np.uint64(universe_size)
+    return WindowedWorkload(universe_size, epoch_column, items, name=name)
 
 
 def duplicated_union_streams(

@@ -208,8 +208,23 @@ class MaterializedStream:
             yield items[start : start + batch_size], deltas[start : start + batch_size]
 
     def is_insertion_only(self) -> bool:
-        """Return True when every update has ``delta == +1``."""
-        return all(update.delta == 1 for update in self._updates)
+        """Return True when every update has ``delta == +1`` (cached).
+
+        The answer is computed once — vectorized over the cached
+        :meth:`delta_array` — and memoized, so hot callers that gate on
+        the stream model per ingest (the sharded engine checks it for
+        every :func:`repro.parallel.parallel_ingest_into` call) stop
+        paying an O(n) Python walk over the ``Update`` objects each time.
+        """
+        cached = getattr(self, "_insertion_only", None)
+        if cached is None:
+            if HAS_NUMPY:
+                deltas = self.delta_array()
+                cached = bool((deltas == 1).all())
+            else:  # pragma: no cover - numpy is a declared dependency
+                cached = all(update.delta == 1 for update in self._updates)
+            self._insertion_only = cached
+        return cached
 
     # -- ground truth ---------------------------------------------------------------
 
@@ -272,13 +287,24 @@ class MaterializedStream:
         )
 
     def checkpoints(self, count: int) -> List[int]:
-        """Return ``count`` roughly evenly spaced prefix lengths ending at the full length."""
+        """Return up to ``count`` evenly spaced prefix lengths ending at the full length.
+
+        Duplicate positions are dropped (requesting more checkpoints than
+        the stream has updates would otherwise repeat prefixes, making
+        the runner evaluate and record the same checkpoint several
+        times); the final full-length checkpoint is always present.
+        """
         if count <= 0:
             raise ParameterError("checkpoint count must be positive")
         total = len(self._updates)
         if count == 1 or total == 0:
             return [total]
-        return [round(total * (index + 1) / count) for index in range(count)]
+        positions: List[int] = []
+        for index in range(count):
+            position = round(total * (index + 1) / count)
+            if not positions or position != positions[-1]:
+                positions.append(position)
+        return positions
 
     def max_update_magnitude(self) -> int:
         """Return ``M``, the largest absolute update value (1 for insertion-only)."""

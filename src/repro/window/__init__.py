@@ -1,0 +1,30 @@
+"""Sliding-window distinct counting subsystem.
+
+* :class:`~repro.window.windowed.WindowedSketch` — a bounded ring of
+  per-epoch mergeable sketches answering "distinct over the last ``k``
+  epochs" by memoized merge-rollup (one merge per query, amortized).
+* :class:`~repro.window.windowed.WindowedSketchStore` — the keyed
+  counterpart: one :class:`~repro.store.store.SketchStore` per epoch,
+  merged key-wise for per-entity window queries.
+
+Epoch-range sharding lives in
+:func:`repro.parallel.parallel_ingest_windowed` /
+:func:`repro.parallel.parallel_ingest_windowed_keyed`; timestamped
+workload generation in :func:`repro.streams.generators.windowed_uniform_stream`.
+"""
+
+from .windowed import (
+    WindowedSketch,
+    WindowedSketchStore,
+    epoch_runs,
+    ingest_epoch_sketch,
+    ingest_epoch_store,
+)
+
+__all__ = [
+    "WindowedSketch",
+    "WindowedSketchStore",
+    "epoch_runs",
+    "ingest_epoch_sketch",
+    "ingest_epoch_store",
+]

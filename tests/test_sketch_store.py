@@ -206,6 +206,35 @@ class TestGroupedEdgeCases:
         assert grouped.keys == scalar.keys
         assert grouped.to_bytes() == scalar.to_bytes()
 
+    @pytest.mark.parametrize("family,factory,params", FAMILIES, ids=FAMILY_IDS)
+    def test_empty_update_batch_registers_no_key(self, family, factory, params):
+        """Regression: ``update_batch(key, [])`` used to register ``key``.
+
+        The three ingestion paths must agree on key registration for an
+        empty batch — none of them registers anything — so stores built
+        through any mix of them serialize byte-identically.
+        """
+        via_batch = _make_store(family, params)
+        via_batch.update_batch(7, [])
+        via_batch.update_batch(
+            8, np.array([], dtype=np.uint64)
+        )
+        via_grouped = _make_store(family, params)
+        via_grouped.update_grouped([], [])
+        via_scalar = _make_store(family, params)
+        # the scalar loop over an empty batch is zero iterations
+        assert via_batch.keys == via_grouped.keys == via_scalar.keys == []
+        assert (
+            via_batch.to_bytes()
+            == via_grouped.to_bytes()
+            == via_scalar.to_bytes()
+        )
+        # and a non-empty follow-up batch lands in an identical store
+        via_batch.update_batch(7, [11, 12])
+        via_scalar.update(7, 11)
+        via_scalar.update(7, 12)
+        assert via_batch.to_bytes() == via_scalar.to_bytes()
+
     def test_rejected_batch_registers_no_keys(self):
         store = _make_store("hyperloglog", {})
         store.update_grouped([1], [4])
@@ -540,7 +569,7 @@ class TestStoreBackedApplications:
                     UNIVERSE, bits=monitor._fanout_bits, seed=21 + 3
                 )
             counter.update(record.destination % UNIVERSE)
-        estimates = monitor._fanout_store.estimate_all()
+        estimates = monitor._fanout_store.estimate_current()
         assert sorted(estimates) == sorted(reference)
         for source, counter in reference.items():
             assert estimates[source] == counter.estimate()

@@ -62,6 +62,17 @@ class TestMaterializedStream:
     def test_is_insertion_only(self):
         assert stream_from_items([1, 2], 10).is_insertion_only()
         assert not MaterializedStream([Update(1, -1)], 10).is_insertion_only()
+        assert MaterializedStream([], 10).is_insertion_only()
+
+    def test_is_insertion_only_is_cached(self):
+        stream = stream_from_items([1, 2, 3], 10)
+        assert stream.is_insertion_only()
+        # the memoized answer is reused (and stays a plain bool)
+        assert stream._insertion_only is True
+        assert stream.is_insertion_only() is True
+        turnstile = MaterializedStream([Update(1, 1), Update(1, -1)], 10)
+        assert turnstile.is_insertion_only() is False
+        assert turnstile.is_insertion_only() is False
 
     def test_ground_truth_at_checkpoints(self):
         stream = stream_from_items([1, 1, 2, 3, 3, 4], 10)
@@ -91,6 +102,16 @@ class TestMaterializedStream:
         marks = stream.checkpoints(4)
         assert marks == [25, 50, 75, 100]
         assert stream.checkpoints(1) == [100]
+
+    def test_checkpoints_more_than_length_deduplicate(self):
+        """Regression: count > len(stream) used to emit duplicate prefixes."""
+        stream = stream_from_items([1, 2], 10)
+        assert stream.checkpoints(5) == [0, 1, 2]
+        assert stream.checkpoints(2) == [1, 2]
+        single = stream_from_items([7], 10)
+        assert single.checkpoints(4) == [0, 1]
+        empty = MaterializedStream([], 10)
+        assert empty.checkpoints(3) == [0]
 
     def test_max_update_magnitude(self):
         stream = MaterializedStream([Update(1, -7), Update(2, 3)], 10)
