@@ -13,7 +13,7 @@ Three ablations, each isolating one design decision of the paper:
 
 from __future__ import annotations
 
-from conftest import SMALL_BENCH_UNIVERSE, emit, run_once
+from conftest import SMALL_BENCH_UNIVERSE, emit, metric, record, run_once
 
 from repro.analysis import Table, format_bits
 from repro.analysis.metrics import relative_error
@@ -51,6 +51,18 @@ def test_ablation_offset_rebasing_space(benchmark):
     for name, bits in spaces.items():
         table.add_row([name, format_bits(bits)])
     emit("E12a: offset rebasing (Figure 3 vs Figure 4)", table.render_text())
+    record(
+        "ablation",
+        {
+            "figure3_space_bits": metric(
+                spaces["figure-3 compressed counters"], "lower", "space", "bits"
+            ),
+            "figure4_space_bits": metric(
+                spaces["figure-4 full bitmatrix"], "lower", "space", "bits"
+            ),
+        },
+        scale={"universe": SMALL_BENCH_UNIVERSE, "distinct": DISTINCT},
+    )
     assert spaces["figure-3 compressed counters"] < spaces["figure-4 full bitmatrix"]
 
 
@@ -78,6 +90,13 @@ def test_ablation_offset_divisor_accuracy(benchmark):
     for divisor, error in sorted(results.items()):
         table.add_row([divisor, "%.3f" % error])
     emit("E12b: offset divisor", table.render_text())
+    record(
+        "ablation",
+        {
+            "offset_divisor_%d_error" % divisor: metric(error, "lower", "error")
+            for divisor, error in results.items()
+        },
+    )
     # The practical divisor keeps more sampled items and must not be less
     # accurate than the paper's conservative setting.
     assert results[2] <= results[32] + 0.02
@@ -110,5 +129,14 @@ def test_ablation_h3_independence(benchmark):
     for family, error in results.items():
         table.add_row([family, "%.3f" % error])
     emit("E12c: h3 independence", table.render_text())
+    record(
+        "ablation",
+        {
+            "h3_kwise_error": metric(results["k-wise (Lemma 2)"], "lower", "error"),
+            "h3_siegel_error": metric(
+                results["Siegel-style (Theorem 7, fast variant)"], "lower", "error"
+            ),
+        },
+    )
     for family, error in results.items():
         assert error <= 4 * EPS, family

@@ -11,7 +11,7 @@ success probability; EXPERIMENTS.md records the measured constants.
 
 from __future__ import annotations
 
-from conftest import SMALL_BENCH_UNIVERSE, emit, run_once
+from conftest import SMALL_BENCH_UNIVERSE, emit, metric, record, run_once
 
 from repro.analysis import Table, accuracy_sweep
 from repro.streams import distinct_items_stream, zipf_stream
@@ -48,6 +48,15 @@ def test_accuracy_uniform_workload(benchmark):
             "%.2f" % point.within_2band,
         ])
     emit("E4a: F0 accuracy (uniform duplication)", table.render_text())
+    record(
+        "accuracy_f0",
+        {
+            "uniform_%s_eps%.2f_mean_error"
+            % (point.algorithm, point.eps): metric(point.summary.mean, "lower", "error")
+            for point in points
+        },
+        scale={"universe": SMALL_BENCH_UNIVERSE, "distinct": 8_000, "seeds": len(SEEDS)},
+    )
 
     knw_points = [p for p in points if p.algorithm == "knw"]
     for point in knw_points:
@@ -81,6 +90,14 @@ def test_accuracy_zipf_workload(benchmark):
             "%.3f" % point.summary.p90,
         ])
     emit("E4b: F0 accuracy (Zipf duplication)", table.render_text())
+    record(
+        "accuracy_f0",
+        {
+            "zipf_%s_eps%.2f_mean_error"
+            % (point.algorithm, point.eps): metric(point.summary.mean, "lower", "error")
+            for point in points
+        },
+    )
     for point in points:
         if point.algorithm.startswith("knw"):
             assert point.summary.mean <= 4 * point.eps

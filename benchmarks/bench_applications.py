@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from conftest import emit, run_once
+from conftest import emit, metric, record, run_once
 
 from repro.analysis import Table, format_bits
 from repro.analysis.metrics import relative_error
@@ -46,6 +46,17 @@ def test_query_optimizer_ndv_quality(benchmark):
     for name, truth, estimate, error in rows:
         table.add_row([name, truth, "%.0f" % estimate, "%.3f" % error])
     emit("E11a: query optimiser", table.render_text())
+    record(
+        "applications",
+        dict(
+            {
+                "ndv_%s_error" % name: metric(error, "lower", "error")
+                for name, _, _, error in rows
+            },
+            ndv_space_bits=metric(space, "lower", "space", "bits"),
+        ),
+        scale={"universe": UNIVERSE},
+    )
     for _, _, _, error in rows:
         assert error < 0.2
 
@@ -72,6 +83,15 @@ def test_network_monitor_quality(benchmark):
         % (truth, report.distinct_flows, error, len(report.scan_suspects))
     )
     emit("E11b: network monitor", body)
+    record(
+        "applications",
+        {
+            "monitor_distinct_flows_error": metric(error, "lower", "error"),
+            "monitor_scan_suspects": metric(
+                len(report.scan_suspects), "higher", "count"
+            ),
+        },
+    )
     assert error < 0.25
     assert len(report.scan_suspects) >= 1
 
@@ -107,6 +127,14 @@ def test_data_cleaning_quality(benchmark):
     for pair, (truth, estimate) in results.items():
         table.add_row([pair, truth, "%.0f" % estimate, "%.3f" % relative_error(estimate, truth)])
     emit("E11c: data cleaning", table.render_text())
+    record(
+        "applications",
+        {
+            "cleaning_%s_error"
+            % pair: metric(relative_error(estimate, truth), "lower", "error")
+            for pair, (truth, estimate) in results.items()
+        },
+    )
     dirty_truth, dirty_estimate = results["dirty"]
     unrelated_truth, unrelated_estimate = results["unrelated"]
     assert relative_error(dirty_estimate, dirty_truth) < 0.35

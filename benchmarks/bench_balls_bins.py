@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from conftest import emit, run_once
+from conftest import emit, metric, record, run_once
 
 from repro.analysis import Table
 from repro.core.balls_bins import occupancy_statistics, simulate_occupancy
@@ -63,6 +63,17 @@ def test_limited_independence_occupancy(benchmark):
             "%.1f" % stats["mean_estimate"],
         ])
     emit("E7: balls and bins with limited independence", table.render_text())
+    record(
+        "balls_bins",
+        {
+            "occupancy_gap_%s"
+            % family.split(" ")[0].replace("-", "_"): metric(
+                abs(stats["mean_occupied"] - expected) / expected, "lower", "error"
+            )
+            for family, stats in results.items()
+        },
+        scale={"balls": BALLS, "bins": BINS, "trials": TRIALS},
+    )
 
     for family, stats in results.items():
         assert abs(stats["mean_occupied"] - expected) / expected < 0.05, family

@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 import pytest
-from conftest import BENCH_UNIVERSE, emit, run_once
+from conftest import BENCH_UNIVERSE, emit, metric, record, run_once
 
 from repro.baselines.hyperloglog import HyperLogLogCounter
 from repro.baselines.kmv import KMinimumValues
@@ -93,6 +93,16 @@ def test_batch_throughput_table(benchmark):
         "E-batch -- update_batch vs scalar update, %d items" % STREAM_LENGTH,
         "\n".join(lines),
     )
+    metrics = {}
+    for name, (scalar, batch, speedup) in rows.items():
+        metrics["%s_scalar_items_per_s" % name] = metric(scalar, "higher", "rate", "items/s")
+        metrics["%s_batch_items_per_s" % name] = metric(batch, "higher", "rate", "items/s")
+        metrics["%s_batch_speedup" % name] = metric(speedup, "higher", "ratio")
+    record(
+        "batch_throughput",
+        metrics,
+        scale={"universe": BENCH_UNIVERSE, "items": STREAM_LENGTH},
+    )
     for name, floor in GATED.items():
         assert rows[name][2] >= floor, (
             "%s batch ingestion is only %.1fx the scalar loop (need >= %.0fx)"
@@ -116,6 +126,13 @@ def test_batch_size_sensitivity(benchmark, batch_length):
     emit(
         "E-batch sensitivity -- chunk %d" % batch_length,
         "hyperloglog batch ingest: %.0f items/s" % rate,
+    )
+    record(
+        "batch_throughput",
+        {
+            "hyperloglog_chunk%d_items_per_s"
+            % batch_length: metric(rate, "higher", "rate", "items/s")
+        },
     )
 
 

@@ -11,7 +11,7 @@ flagged as such.
 
 from __future__ import annotations
 
-from conftest import BENCH_UNIVERSE, emit, run_once
+from conftest import BENCH_UNIVERSE, emit, metric, record, run_once
 
 from repro.analysis import Table, format_bits, space_sweep
 from repro.estimators.registry import make_f0_estimator
@@ -55,6 +55,16 @@ def test_figure1_space_column(benchmark):
             row.append(format_bits(results[algorithm][eps]))
         table.add_row(row)
     emit("E1: Figure 1 space column", table.render_text())
+    record(
+        "figure1_space",
+        {
+            "%s_eps%.2f_space_bits"
+            % (algorithm, eps): metric(results[algorithm][eps], "lower", "space", "bits")
+            for algorithm in ALGORITHMS
+            for eps in EPS_VALUES
+        },
+        scale={"universe": BENCH_UNIVERSE, "distinct": 20_000},
+    )
 
     # Shape assertions: KNW must beat the eps^-2 * log(n) algorithms at the
     # finest accuracy, and every sketch must beat exact storage.

@@ -14,7 +14,7 @@ import itertools
 import random
 
 import pytest
-from conftest import BENCH_UNIVERSE
+from conftest import BENCH_UNIVERSE, mean_seconds, metric, record
 
 from repro.estimators.registry import make_f0_estimator
 
@@ -39,6 +39,18 @@ def test_update_time(benchmark, algorithm, eps):
     )
     benchmark.group = "update-time eps=%.2f" % eps
     benchmark(lambda: estimator.update(next(items)))
+    record(
+        "figure1_update_time",
+        {
+            "%s_eps%.2f_update_seconds"
+            % (algorithm, eps): metric(
+                mean_seconds(benchmark), "lower", "rate", "s/update"
+            )
+            if mean_seconds(benchmark) is not None
+            else None
+        },
+        scale={"universe": BENCH_UNIVERSE, "prefill": 5_000},
+    )
 
 
 def test_knw_update_time_independent_of_eps(benchmark):
@@ -60,5 +72,9 @@ def test_knw_update_time_independent_of_eps(benchmark):
 
     timings = benchmark.pedantic(experiment, rounds=1, iterations=1)
     print("\nE2 shape check: knw-fast per-update seconds by eps:", timings)
+    record(
+        "figure1_update_time",
+        {"update_eps_scaling_ratio": metric(timings[0.02] / timings[0.2], "lower", "ratio")},
+    )
     # Allow interpreter noise but reject an eps^-2-style blow-up (25x here).
     assert timings[0.02] < 5.0 * timings[0.2]

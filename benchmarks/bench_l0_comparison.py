@@ -9,7 +9,7 @@ Ganguly's log(mM) counters).
 
 from __future__ import annotations
 
-from conftest import emit, run_once
+from conftest import emit, metric, record, run_once
 
 from repro.analysis import Table, format_bits
 from repro.analysis.metrics import relative_error
@@ -69,6 +69,15 @@ def test_l0_accuracy_and_space(benchmark):
             format_bits(ganguly_space),
         ])
     emit("E8a: KNW L0 vs Ganguly-style baseline", table.render_text())
+    metrics = {}
+    for fraction, knw_err, ganguly_err, knw_space, ganguly_space in rows:
+        metrics["knw_l0_delete%.2f_error" % fraction] = metric(knw_err, "lower", "error")
+        metrics["ganguly_delete%.2f_error" % fraction] = metric(
+            ganguly_err, "lower", "error"
+        )
+    metrics["knw_l0_space_bits"] = metric(rows[0][3], "lower", "space", "bits")
+    metrics["ganguly_space_bits"] = metric(rows[0][4], "lower", "space", "bits")
+    record("l0_comparison", metrics, scale={"universe": UNIVERSE, "distinct": 3_000})
 
     for fraction, knw_err, _, _, _ in rows:
         assert knw_err <= 4 * EPS
@@ -104,4 +113,12 @@ def test_l0_mixed_sign_only_knw(benchmark):
         )
     )
     emit("E8b: mixed-sign frequencies (KNW handles, Ganguly does not)", body)
+    record(
+        "l0_comparison",
+        {
+            "knw_l0_mixed_sign_error": metric(
+                relative_error(result["knw"], result["truth"]), "lower", "error"
+            )
+        },
+    )
     assert relative_error(result["knw"], result["truth"]) <= 4 * EPS

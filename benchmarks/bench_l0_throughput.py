@@ -24,7 +24,7 @@ import os
 import time
 
 import numpy as np
-from conftest import BENCH_UNIVERSE, emit, run_once
+from conftest import BENCH_UNIVERSE, emit, run_once, metric, record
 
 from repro.estimators.registry import make_l0_estimator
 
@@ -123,6 +123,16 @@ def test_l0_batch_throughput_table(benchmark):
         % STREAM_LENGTH,
         "\n".join(lines),
     )
+    metrics = {}
+    for name, (scalar, batch, speedup) in rows.items():
+        metrics["%s_scalar_updates_per_s" % name] = metric(
+            scalar, "higher", "rate", "updates/s"
+        )
+        metrics["%s_batch_updates_per_s" % name] = metric(
+            batch, "higher", "rate", "updates/s"
+        )
+        metrics["%s_batch_speedup" % name] = metric(speedup, "higher", "ratio")
+    record("l0_throughput", metrics, scale={"updates": STREAM_LENGTH})
     if STREAM_LENGTH < GATE_SCALE:
         emit(
             "E-L0-batch gate",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 
-from conftest import emit, run_once
+from conftest import emit, mean_seconds, metric, record, run_once
 
 from repro.analysis import Table, format_bits
 from repro.bitstructs import LogLookupTable
@@ -36,6 +36,11 @@ def test_loglookup_error_and_space(benchmark):
     for bins, guarantee, worst, space in rows:
         table.add_row([bins, "%.4f" % guarantee, "%.5f" % worst, format_bits(space)])
     emit("E10: Appendix A.2 lookup table", table.render_text())
+    metrics = {}
+    for bins, _, worst, space in rows:
+        metrics["loglookup_k%d_worst_error" % bins] = metric(worst, "lower", "error")
+        metrics["loglookup_k%d_space_bits" % bins] = metric(space, "lower", "space", "bits")
+    record("loglookup", metrics)
     for bins, guarantee, worst, _ in rows:
         assert worst <= guarantee
 
@@ -44,6 +49,16 @@ def test_loglookup_query_cost(benchmark):
     table = LogLookupTable(4096)
     benchmark.group = "log evaluation"
     benchmark(lambda: table.lookup(1234))
+    record(
+        "loglookup",
+        {
+            "loglookup_query_seconds": metric(
+                mean_seconds(benchmark), "lower", "rate", "s/query"
+            )
+            if mean_seconds(benchmark) is not None
+            else None
+        },
+    )
 
 
 def test_math_log_reference_cost(benchmark):

@@ -27,7 +27,7 @@ import os
 import time
 
 import numpy as np
-from conftest import emit, run_once
+from conftest import emit, metric, record, run_once
 
 from repro.parallel import parallel_ingest_f0
 from repro.estimators.registry import make_f0_estimator
@@ -118,6 +118,20 @@ def test_parallel_ingest_speedup(benchmark):
         "E-parallel -- sharded ingest, %d items, %d workers, %d cores"
         % (truth_scale, WORKERS, cores),
         "\n".join(lines),
+    )
+    metrics = {}
+    for name, (serial_s, parallel_s, speedup, _, _) in rows.items():
+        metrics["%s_serial_items_per_s" % name] = metric(
+            truth_scale / serial_s, "higher", "rate", "items/s"
+        )
+        metrics["%s_parallel_items_per_s" % name] = metric(
+            truth_scale / parallel_s, "higher", "rate", "items/s"
+        )
+        metrics["%s_parallel_speedup" % name] = metric(speedup, "higher", "rate")
+    record(
+        "parallel_ingest",
+        metrics,
+        scale={"items": truth_scale, "workers": WORKERS},
     )
 
     # Sharded and serial ingestion must agree (bit-identical for the

@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 
 import pytest
-from conftest import BENCH_UNIVERSE
+from conftest import BENCH_UNIVERSE, mean_seconds, metric, record
 
 from repro.estimators.registry import make_f0_estimator
 
@@ -35,6 +35,16 @@ def test_reporting_time(benchmark, algorithm):
     estimator = _warm(algorithm, eps=0.05)
     benchmark.group = "reporting-time eps=0.05"
     benchmark(estimator.estimate)
+    record(
+        "reporting_time",
+        {
+            "%s_report_seconds"
+            % algorithm: metric(mean_seconds(benchmark), "lower", "rate", "s/report")
+            if mean_seconds(benchmark) is not None
+            else None
+        },
+        scale={"universe": BENCH_UNIVERSE, "warm_items": 4_000},
+    )
 
 
 def test_fast_knw_reporting_independent_of_eps(benchmark):
@@ -52,4 +62,8 @@ def test_fast_knw_reporting_independent_of_eps(benchmark):
 
     timings = benchmark.pedantic(experiment, rounds=1, iterations=1)
     print("\nE3 shape check: knw-fast per-report seconds by eps:", timings)
+    record(
+        "reporting_time",
+        {"report_eps_scaling_ratio": metric(timings[0.02] / timings[0.2], "lower", "ratio")},
+    )
     assert timings[0.02] < 5.0 * timings[0.2]

@@ -9,7 +9,7 @@ observed min/max ratios over the whole stream.
 
 from __future__ import annotations
 
-from conftest import BENCH_UNIVERSE, emit, run_once
+from conftest import BENCH_UNIVERSE, emit, metric, record, run_once
 
 from repro.analysis import Table
 from repro.core import FastRoughEstimator, RoughEstimator
@@ -53,6 +53,12 @@ def test_rough_estimator_all_times(benchmark):
             "%.2f" % max(ratios),
         ])
     emit("E5: RoughEstimator constant-factor guarantee at all times", table.render_text())
+    metrics = {}
+    for variant, ratios in profiles.items():
+        slug = variant.replace("-", "_")
+        metrics["rough_%s_min_ratio" % slug] = metric(min(ratios), "higher", "ratio")
+        metrics["rough_%s_max_ratio" % slug] = metric(max(ratios), "lower", "ratio")
+    record("rough_estimator", metrics, scale={"universe": BENCH_UNIVERSE})
 
     for variant, ratios in profiles.items():
         assert ratios, variant

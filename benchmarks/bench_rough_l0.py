@@ -8,7 +8,7 @@ should sit comfortably inside a constant band.
 
 from __future__ import annotations
 
-from conftest import emit, run_once
+from conftest import emit, metric, record, run_once
 
 from repro.analysis import Table
 from repro.l0 import RoughL0Estimator
@@ -45,6 +45,11 @@ def test_rough_l0_constant_factor(benchmark):
     for support, low, high in rows:
         table.add_row([support, "%.3f" % low, "%.3f" % high])
     emit("E9: RoughL0Estimator constant-factor guarantee", table.render_text())
+    metrics = {}
+    for support, low, high in rows:
+        metrics["rough_l0_support%d_min_ratio" % support] = metric(low, "higher", "ratio")
+        metrics["rough_l0_support%d_max_ratio" % support] = metric(high, "lower", "ratio")
+    record("rough_l0", metrics, scale={"universe": UNIVERSE})
 
     for support, low, high in rows:
         assert low >= 1.0 / 110.0

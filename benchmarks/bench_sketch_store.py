@@ -38,7 +38,7 @@ import os
 import time
 
 import numpy as np
-from conftest import BENCH_UNIVERSE, emit, run_once
+from conftest import BENCH_UNIVERSE, emit, metric, record, run_once
 
 from repro.store import SketchStore, make_sketch_array
 
@@ -182,6 +182,20 @@ def test_sketch_store_throughput_table(benchmark):
         "E-store: keyed store grouped ingestion, %d keys / %d updates"
         % (KEY_COUNT, STREAM_LENGTH),
         "\n".join(lines),
+    )
+    metrics = {}
+    for family, (scalar, dict_batch, grouped, speedup) in rows.items():
+        metrics["%s_dict_updates_per_s" % family] = metric(
+            scalar, "higher", "rate", "updates/s"
+        )
+        metrics["%s_grouped_updates_per_s" % family] = metric(
+            grouped, "higher", "rate", "updates/s"
+        )
+        metrics["%s_grouped_speedup" % family] = metric(speedup, "higher", "ratio")
+    record(
+        "sketch_store",
+        metrics,
+        scale={"keys": KEY_COUNT, "updates": STREAM_LENGTH},
     )
     if KEY_COUNT >= GATE_KEYS and STREAM_LENGTH >= GATE_ITEMS:
         for family, required in GATED.items():

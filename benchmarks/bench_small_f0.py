@@ -9,7 +9,7 @@ discontinuity.
 
 from __future__ import annotations
 
-from conftest import SMALL_BENCH_UNIVERSE, emit, run_once
+from conftest import SMALL_BENCH_UNIVERSE, emit, metric, record, run_once
 
 from repro.analysis import Table
 from repro.core import KNWDistinctCounter
@@ -43,6 +43,12 @@ def test_small_f0_handover(benchmark):
     for cardinality, mean_error, max_error in rows:
         table.add_row([cardinality, "%.3f" % mean_error, "%.3f" % max_error])
     emit("E6: small-F0 regime and handover", table.render_text())
+    metrics = {}
+    for cardinality, mean_error, max_error in rows:
+        metrics["small_f0_%d_mean_error" % cardinality] = metric(
+            mean_error, "lower", "error"
+        )
+    record("small_f0", metrics, scale={"universe": SMALL_BENCH_UNIVERSE})
 
     for cardinality, mean_error, max_error in rows:
         if cardinality <= 100:

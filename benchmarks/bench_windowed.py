@@ -38,7 +38,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import BENCH_UNIVERSE, emit, run_once
+from conftest import BENCH_UNIVERSE, emit, metric, record, run_once
 
 from repro.estimators.registry import make_f0_estimator
 from repro.streams.generators import windowed_uniform_stream
@@ -133,6 +133,19 @@ def test_windowed_rollup_speedup(benchmark):
                 "speedup:          %8.1fx" % speedup,
             ]
         ),
+    )
+    record(
+        "windowed",
+        {
+            "ingest_items_per_s": metric(
+                len(workload) / ingest_seconds, "higher", "rate", "items/s"
+            ),
+            "rollup_queries_per_s": metric(
+                queries / rollup_seconds, "higher", "rate", "queries/s"
+            ),
+            "rollup_speedup": metric(speedup, "higher", "ratio"),
+        },
+        scale={"epochs": EPOCHS, "items": len(workload), "queries": QUERY_TICKS},
     )
 
     if EPOCHS >= GATE_EPOCHS and STREAM_LENGTH >= GATE_ITEMS:

@@ -1,0 +1,112 @@
+"""E14 — Workload zoo: per-class accuracy grid and generation throughput.
+
+Runs every workload class in :mod:`repro.streams.workloads` through the
+sweep harness's class-name axis (``workload_class_grid``) — churn lands on
+the L0 harness, the insertion-only classes on the F0 harness — and prints
+the per-class accuracy grid that README.md's workload-zoo section quotes.
+Also times the generators themselves: materialising a zoo stream is pure
+NumPy and must stay far faster than ingesting it.
+
+Scale knobs (smoke-friendly defaults are the committed baseline scale):
+
+* ``BENCH_WORKLOAD_UNIVERSE`` / ``BENCH_WORKLOAD_LENGTH`` /
+  ``BENCH_WORKLOAD_KEYS`` / ``BENCH_WORKLOAD_EPOCHS`` /
+  ``BENCH_WORKLOAD_EPOCH_UPDATES`` — the :class:`WorkloadScale` fields
+  (see :func:`repro.streams.workloads.scale_from_env`).
+* ``BENCH_WORKLOAD_SEEDS`` — trial seeds per (class, algorithm) cell.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import emit, metric, record, run_once
+
+from repro.analysis import format_workload_grid, workload_class_grid
+from repro.streams import (
+    WorkloadScale,
+    make_workload,
+    workload_class,
+    workload_class_names,
+)
+
+SCALE = WorkloadScale(
+    universe_size=int(os.environ.get("BENCH_WORKLOAD_UNIVERSE", 1 << 14)),
+    length=int(os.environ.get("BENCH_WORKLOAD_LENGTH", 4_000)),
+    key_count=int(os.environ.get("BENCH_WORKLOAD_KEYS", 32)),
+    epochs=int(os.environ.get("BENCH_WORKLOAD_EPOCHS", 6)),
+    updates_per_epoch=int(os.environ.get("BENCH_WORKLOAD_EPOCH_UPDATES", 400)),
+)
+SEED_COUNT = int(os.environ.get("BENCH_WORKLOAD_SEEDS", 3))
+
+F0_ALGORITHMS = ["knw", "hyperloglog", "bjkst"]
+L0_ALGORITHMS = ["knw-l0", "ganguly"]
+EPS = 0.1
+
+
+def test_workload_class_grid(benchmark):
+    """The README accuracy grid: every class, F0 and L0 registry families."""
+
+    def experiment():
+        return workload_class_grid(
+            F0_ALGORITHMS,
+            L0_ALGORITHMS,
+            [EPS],
+            list(range(1, SEED_COUNT + 1)),
+            workload_scale=SCALE,
+        )
+
+    grid = run_once(benchmark, experiment)
+    emit("E14: workload-zoo accuracy grid", format_workload_grid(grid))
+    metrics = {}
+    for cls_name, points in grid.items():
+        for point in points:
+            metrics["%s_%s_mean_error" % (cls_name, point.algorithm)] = metric(
+                point.summary.mean, "lower", "error"
+            )
+    record(
+        "workloads",
+        metrics,
+        scale={
+            "universe": SCALE.universe_size,
+            "length": SCALE.length,
+            "seeds": SEED_COUNT,
+        },
+    )
+    for cls_name, points in grid.items():
+        assert points, cls_name
+        for point in points:
+            assert point.truth > 0, (cls_name, point.algorithm)
+
+
+def test_workload_generation_throughput(benchmark):
+    """Materialising zoo streams must stay cheap relative to ingestion."""
+
+    def experiment():
+        rates = {}
+        for cls_name in workload_class_names():
+            start = time.perf_counter()
+            trials = 5
+            for seed in range(trials):
+                stream = make_workload(cls_name, "stream", seed=seed, scale=SCALE)
+            elapsed = time.perf_counter() - start
+            rates[cls_name] = trials * len(stream) / elapsed
+        return rates
+
+    rates = run_once(benchmark, experiment)
+    lines = [
+        "%-12s %14.0f updates/s (%s)"
+        % (cls_name, rate, workload_class(cls_name).stresses)
+        for cls_name, rate in sorted(rates.items())
+    ]
+    emit("E14: zoo generation throughput", "\n".join(lines))
+    record(
+        "workloads",
+        {
+            "%s_generation_updates_per_s" % cls_name: metric(
+                rate, "higher", "rate", "updates/s"
+            )
+            for cls_name, rate in rates.items()
+        },
+    )

@@ -10,6 +10,10 @@ normal repeated timing.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
 #: Universe size shared by the benchmarks (2^20, as in DESIGN.md's E1 row).
@@ -18,10 +22,88 @@ BENCH_UNIVERSE = 1 << 20
 #: Moderate universe for the heavier sweeps.
 SMALL_BENCH_UNIVERSE = 1 << 16
 
+#: Where ``record`` writes its ``BENCH_<name>.json`` files.  The committed
+#: regression baselines live in ``benchmarks/baselines/`` and are compared
+#: against a results directory by ``benchmarks/report.py``.
+RESULTS_DIR = os.environ.get(
+    "BENCH_RESULTS_DIR", os.path.join(os.path.dirname(__file__), "results")
+)
+
+#: Modules recorded in this process — repeated ``record`` calls for the
+#: same name merge; a name first seen this run replaces any stale file.
+_RECORDED_THIS_RUN = set()
+
 
 def run_once(benchmark, function):
     """Run a macro-benchmark exactly once and return its result."""
     return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+def metric(value, direction="higher", kind="rate", unit=None):
+    """Describe one recorded metric.
+
+    Args:
+        value: the measurement.
+        direction: ``"higher"`` if bigger is better (rates, speedups) or
+            ``"lower"`` (errors, space, latencies).
+        kind: ``"rate"`` for wall-clock-dependent measurements (gated
+            loosely by ``report.py`` since they vary across machines) or a
+            machine-portable kind — ``"ratio"``, ``"error"``, ``"space"``,
+            ``"count"`` — gated at the strict threshold.
+        unit: optional human-readable unit (``"items/s"``, ``"bits"``).
+    """
+    entry = {"value": float(value), "direction": direction, "kind": kind}
+    if unit is not None:
+        entry["unit"] = unit
+    return entry
+
+
+def mean_seconds(benchmark):
+    """Mean per-round seconds of a pytest-benchmark run (None if absent)."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    mean = getattr(stats, "mean", None)
+    return None if mean is None else float(mean)
+
+
+def record(name, metrics, scale=None):
+    """Persist benchmark metrics to ``BENCH_<name>.json`` for ``report.py``.
+
+    Args:
+        name: the bench module's short name (``batch_throughput`` for
+            ``bench_batch_throughput.py``) — one JSON file per module.
+        metrics: mapping of metric name to :func:`metric` entry (plain
+            numbers are accepted and treated as higher-better rates).
+            ``None`` values are skipped.
+        scale: the workload-size knobs the run used; ``report.py`` only
+            compares runs whose scale dicts match exactly.
+    """
+    path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % name)
+    payload = None
+    if name in _RECORDED_THIS_RUN and os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    if payload is None:
+        payload = {
+            "benchmark": name,
+            "date": time.strftime("%Y-%m-%d", time.gmtime()),
+            "scale": {},
+            "metrics": {},
+        }
+    if scale:
+        payload["scale"].update({key: scale[key] for key in sorted(scale)})
+    for key, entry in metrics.items():
+        if entry is None:
+            continue
+        if not isinstance(entry, dict):
+            entry = metric(entry)
+        elif entry.get("value") is None:
+            continue
+        payload["metrics"][key] = entry
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    _RECORDED_THIS_RUN.add(name)
 
 
 def emit(title: str, body: str) -> None:

@@ -1,0 +1,168 @@
+"""Compare recorded benchmark results against the committed baselines.
+
+Every ``benchmarks/bench_*`` module records a ``BENCH_<name>.json`` (via
+``conftest.record``) into a results directory; the blessed copies live in
+``benchmarks/baselines/``.  This script diffs the two and exits nonzero
+when any metric regresses past its threshold:
+
+* machine-portable metrics (``kind`` of ``ratio`` / ``error`` / ``space``
+  / ``count``) are gated at ``--threshold`` (default 20%);
+* wall-clock ``rate`` metrics are gated at the looser ``--rate-threshold``
+  (default 50%), since absolute throughput shifts between machines.
+
+Comparisons only happen when the run's ``scale`` dict matches the
+baseline's exactly — a smoke-scale run is never judged against full-scale
+numbers.  ``--update`` copies the current results over the baselines
+(bless a new reference after an intentional change).
+
+Usage::
+
+    python benchmarks/report.py                  # diff results vs baselines
+    python benchmarks/report.py --update         # bless current results
+    python benchmarks/report.py --results DIR    # diff an explicit directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINES = os.path.join(HERE, "baselines")
+DEFAULT_RESULTS = os.path.join(HERE, "results")
+
+#: Metric kinds whose values are comparable across machines.
+PORTABLE_KINDS = {"ratio", "error", "space", "count"}
+
+
+def load_dir(directory):
+    """Load every ``BENCH_*.json`` in ``directory`` keyed by benchmark name."""
+    records = {}
+    if not os.path.isdir(directory):
+        return records
+    for filename in sorted(os.listdir(directory)):
+        if not (filename.startswith("BENCH_") and filename.endswith(".json")):
+            continue
+        with open(os.path.join(directory, filename), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        records[payload.get("benchmark", filename[6:-5])] = payload
+    return records
+
+
+def compare_metric(name, entry, baseline_entry, threshold, rate_threshold):
+    """Return (status, detail) for one metric; status in ok/regression/info."""
+    value = float(entry["value"])
+    base = float(baseline_entry["value"])
+    direction = entry.get("direction", "higher")
+    kind = entry.get("kind", "rate")
+    limit = threshold if kind in PORTABLE_KINDS else rate_threshold
+    if direction == "higher":
+        regressed = value < base * (1.0 - limit)
+        change = (value - base) / base if base else 0.0
+    else:
+        regressed = value > base * (1.0 + limit)
+        change = (base - value) / base if base else 0.0
+    detail = "%-38s %12.4g -> %12.4g  (%+.1f%%, %s/%s, limit %d%%)" % (
+        name,
+        base,
+        value,
+        100.0 * change,
+        direction,
+        kind,
+        round(100 * limit),
+    )
+    return ("regression" if regressed else "ok"), detail
+
+
+def diff(baselines, results, threshold, rate_threshold):
+    """Print the comparison and return the number of regressions."""
+    regressions = 0
+    compared = 0
+    for name in sorted(results):
+        result = results[name]
+        baseline = baselines.get(name)
+        print("== %s" % name)
+        if baseline is None:
+            print("   no committed baseline (run with --update to bless)")
+            continue
+        if baseline.get("scale") != result.get("scale"):
+            print(
+                "   scale mismatch, skipping (baseline %s vs run %s)"
+                % (baseline.get("scale"), result.get("scale"))
+            )
+            continue
+        base_metrics = baseline.get("metrics", {})
+        for metric_name in sorted(result.get("metrics", {})):
+            entry = result["metrics"][metric_name]
+            baseline_entry = base_metrics.get(metric_name)
+            if baseline_entry is None:
+                print("   %-38s (new metric, no baseline)" % metric_name)
+                continue
+            status, detail = compare_metric(
+                metric_name, entry, baseline_entry, threshold, rate_threshold
+            )
+            compared += 1
+            if status == "regression":
+                regressions += 1
+                print("   REGRESSION %s" % detail)
+            else:
+                print("   ok %s" % detail)
+    for name in sorted(set(baselines) - set(results)):
+        print("== %s\n   baseline present but no result recorded this run" % name)
+    print(
+        "\n%d metric(s) compared, %d regression(s)" % (compared, regressions)
+    )
+    return regressions
+
+
+def update(baselines_dir, results):
+    os.makedirs(baselines_dir, exist_ok=True)
+    for name, payload in sorted(results.items()):
+        destination = os.path.join(baselines_dir, "BENCH_%s.json" % name)
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("blessed %s" % destination)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", default=DEFAULT_BASELINES)
+    parser.add_argument("--results", default=DEFAULT_RESULTS)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression for portable metrics (default 0.20)",
+    )
+    parser.add_argument(
+        "--rate-threshold",
+        type=float,
+        default=0.50,
+        help="allowed fractional regression for wall-clock rates (default 0.50)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy current results over the committed baselines",
+    )
+    options = parser.parse_args(argv)
+
+    results = load_dir(options.results)
+    if not results:
+        print("no BENCH_*.json results found in %s" % options.results)
+        return 0 if options.update else 1
+    if options.update:
+        update(options.baselines, results)
+        return 0
+    baselines = load_dir(options.baselines)
+    regressions = diff(
+        baselines, results, options.threshold, options.rate_threshold
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

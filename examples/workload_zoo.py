@@ -1,0 +1,88 @@
+"""Workload zoo: stress every sketch family with adversarial streams.
+
+Run with::
+
+    python examples/workload_zoo.py
+
+Uniform random streams are the *easiest* input a distinct counter will
+ever see.  The zoo in ``repro.streams.workloads`` materialises the hard
+ones — heavy skew, insert-then-delete churn, bursts with long silent
+gaps, cold-key growth, and planted hash near-collisions — each with
+exact ground truth, in all three ingestion shapes, from a single seed.
+
+The script walks the five classes, prints what each one stresses, runs
+the per-class accuracy grid through the sweep harness's class-name axis,
+and finishes with a windowed churn demo (deletion epochs driving a
+sliding window's L0 back toward zero).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_workload_grid, workload_class_grid
+from repro.estimators.registry import make_l0_estimator
+from repro.streams import WorkloadScale, make_workload, workload_class, workload_class_names
+from repro.window import WindowedSketch
+
+SCALE = WorkloadScale(
+    universe_size=1 << 14,
+    length=4_000,
+    key_count=32,
+    epochs=6,
+    updates_per_epoch=400,
+)
+EPS = 0.1
+
+
+def tour_the_classes() -> None:
+    print("The five workload classes\n" + "=" * 25)
+    for name in workload_class_names():
+        cls = workload_class(name)
+        stream = make_workload(name, "stream", seed=11, scale=SCALE)
+        model = "L0 (turnstile)" if cls.turnstile else "F0 (insertion-only)"
+        print(
+            "%-12s %-20s %6d updates, ground truth %5d\n  stresses: %s"
+            % (name, model, len(stream), stream.ground_truth(), cls.stresses)
+        )
+    print()
+
+
+def accuracy_grid() -> None:
+    print("Per-class accuracy grid (sweeps accept class names directly)")
+    print("=" * 60)
+    grid = workload_class_grid(
+        f0_algorithms=["knw", "hyperloglog", "bjkst"],
+        l0_algorithms=["knw-l0", "ganguly"],
+        eps_values=[EPS],
+        seeds=[1, 2, 3],
+        workload_scale=SCALE,
+    )
+    print(format_workload_grid(grid))
+    print()
+
+
+def windowed_churn() -> None:
+    print("Windowed churn: deletions drag the sliding window back down")
+    print("=" * 60)
+    workload = make_workload("churn", "windowed", seed=5, scale=SCALE)
+    ring = WindowedSketch(
+        make_l0_estimator(
+            "knw-l0", workload.universe_size, EPS, len(workload), seed=9
+        ),
+        retention=workload.epoch_count,
+    )
+    ring.ingest_timestamped(workload.epochs, workload.items, workload.deltas)
+    for width in (1, workload.epoch_count // 2, workload.epoch_count):
+        print(
+            "window of last %d epoch(s): estimate %7.0f, exact %5d"
+            % (width, ring.estimate_window(width), workload.ground_truth_window(width))
+        )
+
+
+def main() -> None:
+    tour_the_classes()
+    accuracy_grid()
+    windowed_churn()
+
+
+if __name__ == "__main__":
+    main()

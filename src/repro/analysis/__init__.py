@@ -14,6 +14,7 @@ from .runner import (
     run_f0,
     run_f0_by_name,
     run_keyed_f0,
+    run_keyed_l0,
     run_l0,
     run_l0_by_name,
 )
@@ -22,10 +23,13 @@ from .sweeps import (
     SweepPoint,
     WindowedSweepPoint,
     accuracy_sweep,
+    format_workload_grid,
     keyed_accuracy_sweep,
     l0_accuracy_sweep,
+    resolve_workload_factory,
     space_sweep,
     windowed_accuracy_sweep,
+    workload_class_grid,
 )
 from .tables import Table, format_bits
 
@@ -40,16 +44,20 @@ __all__ = [
     "run_f0",
     "run_f0_by_name",
     "run_keyed_f0",
+    "run_keyed_l0",
     "run_l0",
     "run_l0_by_name",
     "KeyedSweepPoint",
     "SweepPoint",
     "WindowedSweepPoint",
     "accuracy_sweep",
+    "format_workload_grid",
     "keyed_accuracy_sweep",
     "l0_accuracy_sweep",
+    "resolve_workload_factory",
     "space_sweep",
     "windowed_accuracy_sweep",
+    "workload_class_grid",
     "Table",
     "format_bits",
 ]

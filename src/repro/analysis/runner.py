@@ -50,6 +50,7 @@ __all__ = [
     "run_f0_by_name",
     "run_l0_by_name",
     "run_keyed_f0",
+    "run_keyed_l0",
 ]
 
 
@@ -390,6 +391,76 @@ def run_keyed_f0(
     else:
         for keys, items in workload.iter_grouped_batches(batch_size):
             store.update_grouped(keys, items)
+    truth = workload.ground_truth()
+    estimates = store.estimate_all()
+    errors = [
+        relative_error(estimates[key], count) if count else 0.0
+        for key, count in truth.items()
+    ]
+    return KeyedRunResult(
+        family=family,
+        workload=getattr(workload, "name", "keyed"),
+        key_count=len(truth),
+        mean_truth=(sum(truth.values()) / len(truth)) if truth else 0.0,
+        mean_relative_error=(sum(errors) / len(errors)) if errors else 0.0,
+        max_relative_error=max(errors, default=0.0),
+        space_bits=store.space_bits(),
+        estimates=estimates,
+        truth=truth,
+    )
+
+
+def run_keyed_l0(
+    family: str,
+    workload,
+    eps: float,
+    seed: Optional[int] = None,
+    batch_size: Optional[int] = DEFAULT_SHARD_BATCH,
+    magnitude_bound: Optional[int] = None,
+    **family_params,
+) -> KeyedRunResult:
+    """Run one L0 sketch-store family over a keyed turnstile workload.
+
+    The turnstile counterpart of :func:`run_keyed_f0`: the workload's
+    updates carry signed deltas (see
+    :class:`repro.streams.generators.KeyedWorkload`), the store is built
+    from an L0 family, and per-key errors are scored against the exact
+    per-key support sizes after cancellation.  Insertion-only keyed
+    workloads are accepted too (their deltas are implicitly all ``+1``).
+
+    Args:
+        family: an L0 registry name (``knw-l0``, ``ganguly``, ...).
+        workload: a :class:`repro.streams.generators.KeyedWorkload`.
+        eps: target relative error per key.
+        seed: store seed.
+        batch_size: grouped-sweep chunk length (``None`` drives the
+            whole workload as one sweep).
+        magnitude_bound: per-frequency magnitude bound forwarded to the
+            family factory; defaults to the workload's worst case
+            (every update hitting one (key, item) pair).
+        **family_params: forwarded to the family factory.
+    """
+    from ..store import SketchStore
+
+    if magnitude_bound is None:
+        deltas = getattr(workload, "deltas", None)
+        worst = 1
+        if deltas is not None:
+            worst = max((abs(int(delta)) for delta in deltas), default=1)
+        magnitude_bound = max(len(workload) * worst, 1)
+    store = SketchStore.for_family(
+        family,
+        workload.universe_size,
+        eps=eps,
+        seed=seed,
+        magnitude_bound=magnitude_bound,
+        **family_params,
+    )
+    if batch_size is None:
+        store.update_grouped(workload.keys, workload.items, workload.deltas)
+    else:
+        for keys, items, deltas in workload.iter_grouped_update_batches(batch_size):
+            store.update_grouped(keys, items, deltas)
     truth = workload.ground_truth()
     estimates = store.estimate_all()
     errors = [

@@ -24,8 +24,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError
 from ..streams.model import MaterializedStream
+from ..streams.workloads import WorkloadScale, workload_class
 from .metrics import ErrorSummary, summarize_errors, within_band_rate
-from .runner import run_f0_by_name, run_keyed_f0, run_l0_by_name
+from .runner import run_f0_by_name, run_keyed_f0, run_keyed_l0, run_l0_by_name
 
 __all__ = [
     "DEFAULT_SWEEP_BATCH",
@@ -37,12 +38,73 @@ __all__ = [
     "keyed_accuracy_sweep",
     "windowed_accuracy_sweep",
     "space_sweep",
+    "resolve_workload_factory",
+    "workload_class_grid",
+    "format_workload_grid",
 ]
 
 #: Chunk length used when sweeps drive sketches through ``update_batch``.
 DEFAULT_SWEEP_BATCH = 4096
 
 StreamFactory = Callable[[int], MaterializedStream]
+
+#: A stream/workload axis value: either a factory callable (seed ->
+#: workload) or the name of a registered workload-zoo class.
+WorkloadSpec = object
+
+
+def resolve_workload_factory(
+    spec,
+    shape: str,
+    scale: Optional[WorkloadScale] = None,
+    turnstile: Optional[bool] = None,
+) -> Callable[[int], "object"]:
+    """Turn a sweep's workload axis value into a seed-taking factory.
+
+    Every sweep accepts either a factory callable (the historical
+    contract) or a workload-zoo class name (``"skew"``, ``"churn"``,
+    ``"bursty"``, ``"cold-keys"``, ``"adversarial"`` — see
+    :func:`repro.streams.workloads.workload_class_names`); names resolve
+    through the zoo registry to the sweep's input shape.
+
+    Args:
+        spec: a callable or a zoo class name.
+        shape: ``"stream"``, ``"keyed"``, or ``"windowed"``.
+        scale: optional :class:`~repro.streams.workloads.WorkloadScale`
+            for name-resolved classes (callables are returned as-is).
+        turnstile: when a bool, require the named class's turnstile flag
+            to match (``False`` rejects the churn class from F0 sweeps
+            with a useful message instead of a mid-run update error).
+    """
+    if callable(spec):
+        return spec
+    if not isinstance(spec, str):
+        raise ParameterError(
+            "workload axis values must be factories or zoo class names, got %r"
+            % type(spec).__name__
+        )
+    cls = workload_class(spec)
+    if turnstile is not None and cls.turnstile != turnstile:
+        if cls.turnstile:
+            raise ParameterError(
+                "workload class %r is turnstile (carries deletions); sweep it "
+                "with the L0 harness (l0_accuracy_sweep or the L0-family keyed "
+                "/ windowed modes)" % spec
+            )
+        raise ParameterError(
+            "workload class %r is insertion-only; this sweep mode expects a "
+            "turnstile class" % spec
+        )
+    builder = {
+        "stream": cls.stream,
+        "keyed": cls.keyed,
+        "windowed": cls.windowed,
+    }.get(shape)
+    if builder is None:
+        raise ParameterError(
+            "unknown workload shape %r (known: stream, keyed, windowed)" % (shape,)
+        )
+    return lambda seed: builder(seed, scale)
 
 
 @dataclass
@@ -154,6 +216,7 @@ def accuracy_sweep(
     stream_seed: int = 12345,
     batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
     workers: Optional[int] = None,
+    workload_scale: Optional[WorkloadScale] = None,
 ) -> List[SweepPoint]:
     """Run an F0 accuracy sweep.
 
@@ -161,7 +224,9 @@ def accuracy_sweep(
         algorithms: registry names to evaluate.
         stream_factory: callable building the workload from a seed (the same
             workload seed is used for every algorithm so they see identical
-            streams).
+            streams), or a workload-zoo class name (resolved via
+            :func:`resolve_workload_factory`; turnstile classes are
+            rejected — sweep those with :func:`l0_accuracy_sweep`).
         eps_values: accuracy targets to sweep.
         seeds: estimator seeds (one independent trial per seed).
         stream_seed: the workload seed.
@@ -175,12 +240,16 @@ def accuracy_sweep(
         workers: when > 1, distribute the ``(algorithm, eps, seed)``
             trials over this many worker processes.  Every trial is
             seeded, so the sweep output is identical to the serial one.
+        workload_scale: size knobs for name-resolved zoo classes.
 
     Returns:
         One :class:`SweepPoint` per (algorithm, eps) pair.
     """
     if not algorithms or not eps_values or not seeds:
         raise ParameterError("accuracy_sweep needs algorithms, eps values, and seeds")
+    stream_factory = resolve_workload_factory(
+        stream_factory, "stream", workload_scale, turnstile=False
+    )
     stream = stream_factory(stream_seed)
     truth = stream.ground_truth()
     grid = [
@@ -209,6 +278,7 @@ def l0_accuracy_sweep(
     stream_seed: int = 12345,
     batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
     workers: Optional[int] = None,
+    workload_scale: Optional[WorkloadScale] = None,
 ) -> List[SweepPoint]:
     """Run an L0 accuracy sweep (same contract as :func:`accuracy_sweep`).
 
@@ -218,10 +288,15 @@ def l0_accuracy_sweep(
     Trial-level ``workers`` parallelism applies here too (and remains the
     natural axis for sweeps; single long L0 runs can instead shard
     *within* a run via ``run_l0(workers=...)``, the L0 sketches being
-    linear and hence mergeable).
+    linear and hence mergeable).  The workload axis accepts zoo class
+    names; every class works here, since insertion-only streams are
+    legal turnstile inputs (all deltas ``+1``).
     """
     if not algorithms or not eps_values or not seeds:
         raise ParameterError("l0_accuracy_sweep needs algorithms, eps values, and seeds")
+    stream_factory = resolve_workload_factory(
+        stream_factory, "stream", workload_scale
+    )
     stream = stream_factory(stream_seed)
     truth = stream.ground_truth()
     grid = [
@@ -273,6 +348,7 @@ def keyed_accuracy_sweep(
     seeds: Sequence[int],
     workload_seed: int = 12345,
     batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
+    workload_scale: Optional[WorkloadScale] = None,
 ) -> List[KeyedSweepPoint]:
     """Sweep sketch-store families over a keyed workload.
 
@@ -284,20 +360,30 @@ def keyed_accuracy_sweep(
 
     Args:
         families: store family names (struct-of-arrays families or any
-            registry F0 estimator).
+            registry F0 estimator; for turnstile workloads, L0 registry
+            names — the sweep drives
+            :func:`repro.analysis.runner.run_keyed_l0` instead).
         workload_factory: callable building the keyed workload
             (:class:`repro.streams.generators.KeyedWorkload`) from a
-            seed; the same workload seed serves every family.
+            seed, or a workload-zoo class name; the same workload seed
+            serves every family.
         eps_values: per-key accuracy targets to sweep.
         seeds: store seeds (one independent trial per seed).
         workload_seed: the workload seed.
         batch_size: grouped-sweep chunk length.
+        workload_scale: size knobs for name-resolved zoo classes.
     """
     if not families or not eps_values or not seeds:
         raise ParameterError(
             "keyed_accuracy_sweep needs families, eps values, and seeds"
         )
+    workload_factory = resolve_workload_factory(
+        workload_factory, "keyed", workload_scale
+    )
     workload = workload_factory(workload_seed)
+    run_keyed = (
+        run_keyed_l0 if getattr(workload, "deltas", None) is not None else run_keyed_f0
+    )
     points: List[KeyedSweepPoint] = []
     for eps in eps_values:
         for family in families:
@@ -307,7 +393,7 @@ def keyed_accuracy_sweep(
             key_count = 0
             mean_truth = 0.0
             for seed in seeds:
-                result = run_keyed_f0(
+                result = run_keyed(
                     family, workload, eps, seed=seed, batch_size=batch_size
                 )
                 mean_errors.append(result.mean_relative_error)
@@ -356,6 +442,7 @@ def windowed_accuracy_sweep(
     seeds: Sequence[int],
     workload_seed: int = 12345,
     batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
+    workload_scale: Optional[WorkloadScale] = None,
 ) -> List[WindowedSweepPoint]:
     """Sweep windowed rollup accuracy over a timestamped workload.
 
@@ -371,40 +458,61 @@ def windowed_accuracy_sweep(
     point this sweep lets one verify empirically.
 
     Args:
-        algorithms: mergeable F0 registry names.
+        algorithms: mergeable F0 registry names (or, for turnstile
+            workloads, mergeable L0 registry names).
         workload_factory: callable building the timestamped workload
             (:class:`repro.streams.generators.WindowedWorkload`) from a
-            seed; the same workload serves every algorithm.
+            seed, or a workload-zoo class name; the same workload serves
+            every algorithm.
         window_widths: window widths (in epochs) to score.
         eps: accuracy target used to size the sketches.
         seeds: estimator seeds (one independent trial per seed).
         workload_seed: the workload seed.
         batch_size: per-epoch ``update_batch`` chunk length.
+        workload_scale: size knobs for name-resolved zoo classes.
     """
-    from ..estimators.registry import make_f0_estimator
+    from ..estimators.registry import make_f0_estimator, make_l0_estimator
     from ..window import WindowedSketch
 
     if not algorithms or not window_widths or not seeds:
         raise ParameterError(
             "windowed_accuracy_sweep needs algorithms, window widths, and seeds"
         )
+    workload_factory = resolve_workload_factory(
+        workload_factory, "windowed", workload_scale
+    )
     workload = workload_factory(workload_seed)
+    deltas = getattr(workload, "deltas", None)
     widths = sorted(set(int(width) for width in window_widths))
     if widths[0] < 1:
         raise ParameterError("window widths must be at least 1 epoch")
     retention = max(widths[-1], 1)
     truths = {width: workload.ground_truth_window(width) for width in widths}
+    if deltas is None:
+        make_template = lambda algorithm, seed: make_f0_estimator(
+            algorithm, workload.universe_size, eps, seed
+        )
+    else:
+        magnitude_bound = max(
+            len(workload) * max((abs(int(delta)) for delta in deltas), default=1), 1
+        )
+        make_template = lambda algorithm, seed: make_l0_estimator(
+            algorithm, workload.universe_size, eps, magnitude_bound, seed
+        )
     estimates: Dict[Tuple[str, int], List[float]] = {
         (algorithm, width): [] for algorithm in algorithms for width in widths
     }
     for algorithm in algorithms:
         for seed in seeds:
             ring = WindowedSketch(
-                make_f0_estimator(algorithm, workload.universe_size, eps, seed),
+                make_template(algorithm, seed),
                 retention=retention,
             )
             ring.ingest_timestamped(
-                workload.epochs, workload.items, batch_size=batch_size
+                workload.epochs,
+                workload.items,
+                deltas,
+                batch_size=batch_size,
             )
             for width in widths:
                 estimates[(algorithm, width)].append(ring.estimate_window(width))
@@ -445,3 +553,113 @@ def space_sweep(
             per_eps[eps] = run.space_bits
         results[algorithm] = per_eps
     return results
+
+
+def workload_class_grid(
+    f0_algorithms: Sequence[str],
+    l0_algorithms: Sequence[str],
+    eps_values: Sequence[float],
+    seeds: Sequence[int],
+    classes: Optional[Sequence[str]] = None,
+    stream_seed: int = 12345,
+    batch_size: Optional[int] = DEFAULT_SWEEP_BATCH,
+    workers: Optional[int] = None,
+    workload_scale: Optional[WorkloadScale] = None,
+) -> Dict[str, List[SweepPoint]]:
+    """Run the per-workload-class accuracy grid.
+
+    The workload-class axis of the sweep harness: every registered zoo
+    class (or the subset in ``classes``) is swept over the same
+    algorithm/eps/seed grid — insertion-only classes through
+    :func:`accuracy_sweep` with ``f0_algorithms``, turnstile classes
+    (churn) through :func:`l0_accuracy_sweep` with ``l0_algorithms`` —
+    producing the error-vs-space curves per class that the README's
+    accuracy grid and ``benchmarks/bench_workloads.py`` report.
+
+    Args:
+        f0_algorithms: registry F0 names for insertion-only classes.
+        l0_algorithms: registry L0 names for turnstile classes.
+        eps_values: accuracy targets to sweep.
+        seeds: estimator seeds (one independent trial per seed).
+        classes: zoo class names to include (default: all, zoo order).
+        stream_seed: the workload seed shared by every class.
+        batch_size: ``update_batch`` chunk length.
+        workers: optional trial-level process parallelism.
+        workload_scale: size knobs for the generated workloads.
+
+    Returns:
+        ``{class_name: [SweepPoint, ...]}`` in class order.
+    """
+    from ..streams.workloads import workload_class_names
+
+    names = list(classes) if classes is not None else workload_class_names()
+    grid: Dict[str, List[SweepPoint]] = {}
+    for name in names:
+        cls = workload_class(name)
+        if cls.turnstile:
+            grid[name] = l0_accuracy_sweep(
+                l0_algorithms,
+                name,
+                eps_values,
+                seeds,
+                stream_seed=stream_seed,
+                batch_size=batch_size,
+                workers=workers,
+                workload_scale=workload_scale,
+            )
+        else:
+            grid[name] = accuracy_sweep(
+                f0_algorithms,
+                name,
+                eps_values,
+                seeds,
+                stream_seed=stream_seed,
+                batch_size=batch_size,
+                workers=workers,
+                workload_scale=workload_scale,
+            )
+    return grid
+
+
+def format_workload_grid(
+    grid: Dict[str, List[SweepPoint]],
+    title: str = "Per-workload-class accuracy",
+) -> str:
+    """Render a :func:`workload_class_grid` result as a Markdown table.
+
+    One row per (class, algorithm, eps) cell: the exact ground truth,
+    the mean relative error across seeds, and the within-band rates the
+    (eps, delta) guarantee promises.  This is the table the README's
+    workload-zoo section embeds.
+    """
+    from .tables import Table
+
+    table = Table(
+        title,
+        [
+            "class",
+            "model",
+            "algorithm",
+            "eps",
+            "truth",
+            "mean rel. err",
+            "within eps",
+            "within 2eps",
+        ],
+    )
+    for name, points in grid.items():
+        model = "L0" if workload_class(name).turnstile else "F0"
+        for point in points:
+            table.add_row(
+                [
+                    name,
+                    model,
+                    point.algorithm,
+                    "%.2f" % point.eps,
+                    point.truth,
+                    "%.3f" % point.summary.mean,
+                    "%d%%" % round(point.within_band * 100),
+                    "%d%%" % round(point.within_2band * 100),
+                ]
+            )
+    return table.render_markdown()

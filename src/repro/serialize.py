@@ -477,6 +477,24 @@ def dumps(value: Any, state: Optional[Dict[str, Any]] = None) -> bytes:
     return bytes(out)
 
 
+def dumps_tree(value: Any) -> bytes:
+    """Serialize any supported value tree to framed canonical bytes.
+
+    Unlike :func:`dumps`, the input need not be a library object: plain
+    dicts, lists, scalars, and NumPy arrays are accepted directly, with
+    the same canonicalisation rules (sorted dict keys, contiguous array
+    buffers) the object path uses.  Two structurally equal trees encode
+    to byte-identical payloads, which is what fingerprint-style callers
+    (e.g. :func:`repro.streams.workloads.workload_fingerprint`) rely on.
+    """
+    tree = _Snapshotter().encode(value)
+    out = bytearray()
+    out.extend(FORMAT_MAGIC)
+    out.append(FORMAT_VERSION)
+    _encode_tree(out, tree)
+    return bytes(out)
+
+
 def decode_frame(data: bytes) -> Dict[str, Any]:
     """Validate the framing of ``data`` and return the snapshot tree."""
     if not isinstance(data, (bytes, bytearray, memoryview)):

@@ -7,6 +7,10 @@
   for the sliding-window layer.
 * :mod:`repro.streams.turnstile` — turnstile workloads with deletions for
   the L0 algorithms.
+* :mod:`repro.streams.workloads` — the workload zoo: five named adversarial
+  and realistic stream classes (skew, churn, bursty, cold-keys,
+  adversarial), each in stream/keyed/windowed shape with exact ground
+  truth, plus the class registry the sweeps resolve names against.
 * :mod:`repro.streams.datasets` — synthetic packet traces, query logs, and
   table columns matching the paper's motivating applications.
 """
@@ -40,6 +44,34 @@ from .turnstile import (
     mixed_sign_stream,
     paired_columns,
 )
+from .workloads import (
+    DEFAULT_SCALE,
+    NEAR_COLLISION_MODES,
+    SMOKE_SCALE,
+    WorkloadClass,
+    WorkloadScale,
+    bursty_keyed_workload,
+    bursty_stream,
+    bursty_windowed_workload,
+    churn_keyed_workload,
+    churn_stream,
+    churn_windowed_workload,
+    cold_key_stream,
+    cold_key_windowed_workload,
+    cold_key_workload,
+    make_workload,
+    near_collision_keyed_workload,
+    near_collision_stream,
+    near_collision_windowed_workload,
+    scale_from_env,
+    skewed_keyed_workload,
+    skewed_stream,
+    skewed_windowed_workload,
+    workload_class,
+    workload_class_names,
+    workload_fingerprint,
+    zipf_rank_probabilities,
+)
 
 __all__ = [
     "FlowRecord",
@@ -68,4 +100,30 @@ __all__ = [
     "insert_delete_stream",
     "mixed_sign_stream",
     "paired_columns",
+    "DEFAULT_SCALE",
+    "NEAR_COLLISION_MODES",
+    "SMOKE_SCALE",
+    "WorkloadClass",
+    "WorkloadScale",
+    "bursty_keyed_workload",
+    "bursty_stream",
+    "bursty_windowed_workload",
+    "churn_keyed_workload",
+    "churn_stream",
+    "churn_windowed_workload",
+    "cold_key_stream",
+    "cold_key_windowed_workload",
+    "cold_key_workload",
+    "make_workload",
+    "near_collision_keyed_workload",
+    "near_collision_stream",
+    "near_collision_windowed_workload",
+    "scale_from_env",
+    "skewed_keyed_workload",
+    "skewed_stream",
+    "skewed_windowed_workload",
+    "workload_class",
+    "workload_class_names",
+    "workload_fingerprint",
+    "zipf_rank_probabilities",
 ]

@@ -246,23 +246,28 @@ def growing_then_repeating_stream(
 
 @dataclass
 class KeyedWorkload:
-    """A keyed insertion-only workload: aligned per-update (key, item) arrays.
+    """A keyed workload: aligned per-update (key, item[, delta]) arrays.
 
     The input shape of the keyed sketch store
-    (:class:`repro.store.store.SketchStore`): update ``i`` inserts item
-    ``items[i]`` into the sketch of entity ``keys[i]``.  Ground truth is
-    the exact per-key distinct count.
+    (:class:`repro.store.store.SketchStore`): update ``i`` applies item
+    ``items[i]`` to the sketch of entity ``keys[i]``.  Without ``deltas``
+    the workload is insertion-only and ground truth is the exact per-key
+    distinct count (F0); with ``deltas`` it is a turnstile workload and
+    ground truth is the exact per-key support size (L0).
 
     Attributes:
         universe_size: the identifier universe the items live in.
         keys: integer ndarray of per-update entity keys.
         items: ``uint64`` ndarray of per-update identifiers.
+        deltas: optional ``int64`` ndarray of signed deltas (turnstile
+            workloads); ``None`` for insertion-only workloads.
         name: label for reports.
     """
 
     universe_size: int
     keys: "object"
     items: "object"
+    deltas: Optional["object"] = None
     name: str = "keyed"
     _truth: Optional[Dict[int, int]] = field(default=None, repr=False)
 
@@ -275,15 +280,42 @@ class KeyedWorkload:
         return len(self.ground_truth())
 
     def iter_grouped_batches(self, batch_size: int) -> Iterator[Tuple]:
-        """Yield aligned ``(keys, items)`` chunks of up to ``batch_size`` updates."""
+        """Yield aligned ``(keys, items)`` chunks of up to ``batch_size`` updates.
+
+        Insertion-only workloads only (the historical two-tuple shape);
+        turnstile workloads iterate :meth:`iter_grouped_update_batches`.
+        """
         if batch_size <= 0:
             raise ParameterError("batch_size must be positive")
+        if self.deltas is not None:
+            raise ParameterError(
+                "turnstile keyed workloads carry deltas; iterate "
+                "iter_grouped_update_batches instead"
+            )
         for start in range(0, len(self.items), batch_size):
             stop = start + batch_size
             yield self.keys[start:stop], self.items[start:stop]
 
+    def iter_grouped_update_batches(self, batch_size: int) -> Iterator[Tuple]:
+        """Yield aligned ``(keys, items, deltas)`` chunks of up to ``batch_size``.
+
+        The turnstile counterpart of :meth:`iter_grouped_batches`; the
+        ``deltas`` member of each triple is ``None`` for insertion-only
+        workloads, matching the optional third argument of
+        :meth:`repro.store.store.SketchStore.update_grouped`.
+        """
+        if batch_size <= 0:
+            raise ParameterError("batch_size must be positive")
+        for start in range(0, len(self.items), batch_size):
+            stop = start + batch_size
+            yield (
+                self.keys[start:stop],
+                self.items[start:stop],
+                None if self.deltas is None else self.deltas[start:stop],
+            )
+
     def ground_truth(self) -> Dict[int, int]:
-        """Return the exact per-key distinct-item counts (computed once)."""
+        """Return the exact per-key distinct/support counts (computed once)."""
         if self._truth is None:
             if HAS_NUMPY:
                 pairs = np.stack(
@@ -293,16 +325,47 @@ class KeyedWorkload:
                     ),
                     axis=1,
                 )
-                distinct = np.unique(pairs, axis=0)
-                touched, counts = np.unique(distinct[:, 0], return_counts=True)
+                if self.deltas is None:
+                    distinct = np.unique(pairs, axis=0)
+                    touched, counts = np.unique(distinct[:, 0], return_counts=True)
+                else:
+                    # Exact per-key L0: net delta per (key, item) pair, then
+                    # count the pairs whose net frequency is non-zero.
+                    distinct, inverse = np.unique(pairs, axis=0, return_inverse=True)
+                    net = np.zeros(len(distinct), dtype=np.int64)
+                    np.add.at(
+                        net,
+                        inverse.reshape(-1),
+                        np.asarray(self.deltas, dtype=np.int64),
+                    )
+                    surviving = distinct[net != 0]
+                    touched, counts = np.unique(surviving[:, 0], return_counts=True)
+                    self._truth = dict(
+                        zip(touched.tolist(), (int(c) for c in counts.tolist()))
+                    )
+                    # Keys whose support cancelled entirely still count as
+                    # observed entities with L0 = 0.
+                    for key in np.unique(pairs[:, 0]).tolist():
+                        self._truth.setdefault(int(key), 0)
+                    return self._truth
                 self._truth = dict(
                     zip(touched.tolist(), (int(c) for c in counts.tolist()))
                 )
             else:  # pragma: no cover - numpy is a declared dependency
-                seen: Dict[int, set] = {}
-                for key, item in zip(self.keys, self.items):
-                    seen.setdefault(int(key), set()).add(int(item))
-                self._truth = {key: len(values) for key, values in seen.items()}
+                if self.deltas is None:
+                    seen: Dict[int, set] = {}
+                    for key, item in zip(self.keys, self.items):
+                        seen.setdefault(int(key), set()).add(int(item))
+                    self._truth = {key: len(values) for key, values in seen.items()}
+                else:
+                    net_by_key: Dict[int, Dict[int, int]] = {}
+                    for key, item, delta in zip(self.keys, self.items, self.deltas):
+                        freqs = net_by_key.setdefault(int(key), {})
+                        freqs[int(item)] = freqs.get(int(item), 0) + int(delta)
+                    self._truth = {
+                        key: sum(1 for value in freqs.values() if value != 0)
+                        for key, freqs in net_by_key.items()
+                    }
         return self._truth
 
 

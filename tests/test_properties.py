@@ -14,7 +14,17 @@ from repro.bitstructs import (
 from repro.core.balls_bins import expected_occupied_bins, invert_occupancy
 from repro.estimators.exact import ExactDistinctCounter, ExactHammingNorm
 from repro.hashing import KWiseHash, PairwiseHash, lsb, msb
-from repro.streams import MaterializedStream, Update
+from repro.streams import (
+    NEAR_COLLISION_MODES,
+    MaterializedStream,
+    Update,
+    WorkloadScale,
+    churn_stream,
+    make_workload,
+    near_collision_stream,
+    workload_class_names,
+    zipf_rank_probabilities,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -228,3 +238,144 @@ def test_knw_l0_exact_for_tiny_support(updates, seed):
     truth = len(frequencies)
     if truth <= 90:
         assert estimator.estimate() == truth
+
+
+# ---------------------------------------------------------------------------
+# Workload zoo invariants (generators are pure functions of their seed)
+# ---------------------------------------------------------------------------
+
+
+def _brute_force_support(stream):
+    """Exact L0/F0 by replaying the net frequency vector."""
+    frequencies = {}
+    for update in stream:
+        frequencies[update.item] = frequencies.get(update.item, 0) + update.delta
+    return sum(1 for value in frequencies.values() if value)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sampled_from(sorted(workload_class_names())),
+    st.integers(min_value=0, max_value=1 << 30),
+)
+def test_zoo_stream_ground_truth_matches_brute_force(cls_name, seed):
+    scale = WorkloadScale(
+        universe_size=1 << 12, length=400, key_count=8, epochs=3, updates_per_epoch=60
+    )
+    stream = make_workload(cls_name, "stream", seed=seed, scale=scale)
+    assert stream.ground_truth() == _brute_force_support(stream)
+    assert all(0 <= update.item < stream.universe_size for update in stream)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=300),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=1 << 30),
+)
+def test_full_deletion_churn_collapses_l0_to_zero(distinct, waves, seed):
+    stream = churn_stream(
+        1 << 12, distinct, waves=waves, survivor_fraction=0.0, seed=seed
+    )
+    assert stream.ground_truth() == 0
+    assert _brute_force_support(stream) == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=300),
+    st.integers(min_value=1, max_value=4),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=1 << 30),
+)
+def test_churn_survivor_count_is_exact(distinct, waves, fraction, seed):
+    stream = churn_stream(
+        1 << 12, distinct, waves=waves, survivor_fraction=fraction, seed=seed
+    )
+    assert stream.ground_truth() == waves * round(distinct * fraction)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=400),
+    st.floats(min_value=0.0, max_value=8.0),
+)
+def test_zipf_probabilities_are_a_sorted_distribution(support, skew):
+    probabilities = zipf_rank_probabilities(support, skew)
+    assert len(probabilities) == support
+    assert abs(sum(probabilities) - 1.0) < 1e-9
+    assert all(
+        first >= second
+        for first, second in zip(probabilities, probabilities[1:])
+    )
+
+
+@given(st.integers(min_value=1, max_value=400))
+def test_zipf_zero_skew_is_exactly_uniform(support):
+    probabilities = zipf_rank_probabilities(support, 0.0)
+    assert all(p == probabilities[0] for p in probabilities)
+
+
+@given(st.integers(min_value=2, max_value=400))
+def test_zipf_extreme_skew_is_degenerate(support):
+    probabilities = zipf_rank_probabilities(support, 2000.0)
+    assert probabilities[0] == 1.0
+    assert all(p == 0.0 for p in probabilities[1:])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sampled_from(sorted(NEAR_COLLISION_MODES)),
+    st.integers(min_value=1, max_value=128),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=1 << 30),
+)
+def test_near_collision_streams_hit_requested_distinct(mode, distinct, repetitions, seed):
+    stream = near_collision_stream(
+        1 << 14, distinct, mode=mode, cluster_bits=5, repetitions=repetitions, seed=seed
+    )
+    assert len(stream) == distinct * repetitions
+    assert stream.ground_truth() == distinct
+    assert all(0 <= update.item < stream.universe_size for update in stream)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 30))
+def test_keyed_churn_ground_truth_matches_brute_force(seed):
+    scale = WorkloadScale(
+        universe_size=1 << 12, length=300, key_count=6, epochs=3, updates_per_epoch=50
+    )
+    workload = make_workload("churn", "keyed", seed=seed, scale=scale)
+    recount = {}
+    for key, item, delta in zip(
+        workload.keys.tolist(), workload.items.tolist(), workload.deltas.tolist()
+    ):
+        net = recount.setdefault(key, {})
+        net[item] = net.get(item, 0) + delta
+    expected = {
+        key: sum(1 for value in net.values() if value) for key, net in recount.items()
+    }
+    assert workload.ground_truth() == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.sampled_from(sorted(workload_class_names())),
+    st.integers(min_value=0, max_value=1 << 30),
+)
+def test_windowed_zoo_ground_truth_matches_window_recount(cls_name, seed):
+    scale = WorkloadScale(
+        universe_size=1 << 12, length=300, key_count=6, epochs=4, updates_per_epoch=40
+    )
+    workload = make_workload(cls_name, "windowed", seed=seed, scale=scale)
+    for width in range(1, workload.epoch_count + 1):
+        _, items, deltas = workload.window_slice(width)
+        frequencies = {}
+        if deltas is None:
+            for item in items.tolist():
+                frequencies[item] = 1
+        else:
+            for item, delta in zip(items.tolist(), deltas.tolist()):
+                frequencies[item] = frequencies.get(item, 0) + delta
+        expected = sum(1 for value in frequencies.values() if value)
+        assert workload.ground_truth_window(width) == expected

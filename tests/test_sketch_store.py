@@ -587,3 +587,81 @@ class TestStoreBackedApplications:
         assert abs(knw.ndv("c") - 400) / 400 < 0.3
         assert abs(hll.ndv("c") - 400) / 400 < 0.3
         assert knw.all_ndv().keys() == hll.all_ndv().keys()
+
+
+class TestColdKeyGrowthEquivalence:
+    """Geometric over-allocation is invisible: a store grown one cold key
+    at a time is byte-identical to one allocated in bulk up front.
+
+    The cold-key zoo workload introduces keys in increasing order, so a
+    grouped replay forces the maximum number of grow steps the workload
+    can produce — a scaled-down stand-in for the millions-of-keys regime
+    where incremental growth and bulk allocation must not diverge.
+    """
+
+    def _workload(self, key_count):
+        from repro.streams import WorkloadScale, cold_key_workload
+
+        scale = WorkloadScale(
+            universe_size=UNIVERSE,
+            length=max(4 * key_count, 256),
+            key_count=key_count,
+            epochs=3,
+            updates_per_epoch=64,
+        )
+        return cold_key_workload(scale, seed=20)
+
+    # Default key counts are per-family (object-backed rows pay a
+    # template-decode per grown row, so the KNW families run smaller);
+    # STORE_GROWTH_KEYS overrides all three for a full-scale soak.
+    @pytest.mark.parametrize(
+        "family,default_keys",
+        [("hyperloglog", 1500), ("knw", 400), ("knw-l0", 120)],
+    )
+    def test_incremental_growth_matches_bulk_allocation(self, family, default_keys):
+        import os
+
+        workload = self._workload(
+            int(os.environ.get("STORE_GROWTH_KEYS", str(default_keys)))
+        )
+        kwargs = {"magnitude_bound": len(workload)} if family == "knw-l0" else {}
+        chunk = max(len(workload) // 24, 1)
+
+        incremental = SketchStore.for_family(
+            family, UNIVERSE, eps=0.2, seed=SEED, **kwargs
+        )
+        # Small chunks: every chunk introduces fresh keys, so the backing
+        # array regrows (and re-allocates) dozens of times.
+        grow_events = 0
+        previous_capacity = 0
+        for start in range(0, len(workload), chunk):
+            stop = start + chunk
+            if family == "knw-l0":
+                incremental.update_grouped(
+                    workload.keys[start:stop],
+                    workload.items[start:stop],
+                    np.ones(len(workload.keys[start:stop]), dtype=np.int64),
+                )
+            else:
+                incremental.update_grouped(
+                    workload.keys[start:stop], workload.items[start:stop]
+                )
+            capacity = len(incremental)
+            if capacity > previous_capacity:
+                grow_events += 1
+                previous_capacity = capacity
+
+        bulk = SketchStore.for_family(
+            family, UNIVERSE, keys=incremental.keys, eps=0.2, seed=SEED, **kwargs
+        )
+        if family == "knw-l0":
+            bulk.update_grouped(
+                workload.keys, workload.items, np.ones(len(workload), dtype=np.int64)
+            )
+        else:
+            bulk.update_grouped(workload.keys, workload.items)
+
+        assert grow_events > 10, "cold-key replay must actually regrow the store"
+        assert incremental.keys == bulk.keys
+        assert incremental.to_bytes() == bulk.to_bytes()
+        assert incremental.estimate_all() == bulk.estimate_all()
