@@ -147,45 +147,43 @@ def _drive_sharded(
 ) -> None:
     """Feed each inter-checkpoint segment through the sharded engine.
 
-    One worker pool serves every segment — pool startup is paid once per
-    run, not once per checkpoint.  Turnstile runs shard ``(items, deltas)``
-    pairs through the L0 merge-reduce engine; insertion-only runs shard
-    the item array.
+    The process-wide persistent pool (:mod:`repro.parallel.pool`) serves
+    every segment — pool startup is paid once per *process*, not once
+    per checkpoint or even per run.  Turnstile runs shard ``(items,
+    deltas)`` pairs through the L0 additive engine; insertion-only runs
+    shard the item array.
     """
-    from concurrent.futures import ProcessPoolExecutor
-
     items = stream.item_array()
     deltas = stream.delta_array() if turnstile else None
     chunk = batch_size if batch_size is not None else DEFAULT_SHARD_BATCH
 
-    def ingest_segment(start: int, stop: int, pool) -> None:
+    def ingest_segment(start: int, stop: int) -> None:
         if turnstile:
             parallel_ingest_updates_into(
                 estimator,
                 (items[start:stop], deltas[start:stop]),
+                workers=workers,
                 shards=workers,
                 batch_size=chunk,
-                executor=pool,
             )
         else:
             parallel_ingest_into(
                 estimator,
                 items[start:stop],
+                workers=workers,
                 shards=workers,
                 batch_size=chunk,
-                executor=pool,
             )
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        cursor = 0
-        for position, truth in zip(positions, truths):
-            if position > cursor:
-                ingest_segment(cursor, position, pool)
-                cursor = position
-            if position > 0:
-                _checkpoint(checkpoints, estimator, position, truth)
-        if cursor < len(stream):
-            ingest_segment(cursor, len(stream), pool)
+    cursor = 0
+    for position, truth in zip(positions, truths):
+        if position > cursor:
+            ingest_segment(cursor, position)
+            cursor = position
+        if position > 0:
+            _checkpoint(checkpoints, estimator, position, truth)
+    if cursor < len(stream):
+        ingest_segment(cursor, len(stream))
 
 
 def _run(

@@ -8,21 +8,22 @@ measured.
 
 Sweeps parallelise at *trial* granularity: every ``(algorithm, eps,
 seed)`` cell is an independent run over the same replayed stream, so
-``workers=N`` fans the grid out over a process pool (the stream is
-shipped to each worker once, via a pool initializer) and collects the
-identical per-trial numbers in the identical order.  This is the right
-axis for sweeps — it parallelises F0 and L0 runs alike and needs no
-merge support — whereas :mod:`repro.analysis.runner` offers *intra*-run
-sharding for single long streams.
+``workers=N`` fans the grid out over the process-wide persistent pool
+(:mod:`repro.parallel.pool` — the stream is staged once and loaded once
+per worker) and collects the identical per-trial numbers in the
+identical order.  This is the right axis for sweeps — it parallelises
+F0 and L0 runs alike and needs no merge support — whereas
+:mod:`repro.analysis.runner` offers *intra*-run sharding for single
+long streams.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError
+from ..parallel import discard_shared, get_pool, load_shared, stage_shared
 from ..streams.model import MaterializedStream
 from ..streams.workloads import WorkloadScale, workload_class
 from .metrics import ErrorSummary, summarize_errors, within_band_rate
@@ -130,28 +131,18 @@ class SweepPoint:
     mean_space_bits: float
 
 
-#: Per-process replay stream for pooled trials, set by the initializer so
-#: the (potentially large) stream is shipped once per worker, not per task.
-_TRIAL_STREAM: Optional[MaterializedStream] = None
-
-
-def _init_trial_worker(stream: MaterializedStream) -> None:
-    global _TRIAL_STREAM
-    _TRIAL_STREAM = stream
-
-
-def _f0_trial(args: Tuple[str, float, int, Optional[int]]) -> Tuple[float, int]:
-    algorithm, eps, seed, batch_size = args
+def _f0_trial(args: Tuple[str, float, int, Optional[int], str]) -> Tuple[float, int]:
+    algorithm, eps, seed, batch_size, token = args
     result = run_f0_by_name(
-        algorithm, _TRIAL_STREAM, eps, seed=seed, batch_size=batch_size
+        algorithm, load_shared(token), eps, seed=seed, batch_size=batch_size
     )
     return result.estimate, result.space_bits
 
 
-def _l0_trial(args: Tuple[str, float, int, Optional[int]]) -> Tuple[float, int]:
-    algorithm, eps, seed, batch_size = args
+def _l0_trial(args: Tuple[str, float, int, Optional[int], str]) -> Tuple[float, int]:
+    algorithm, eps, seed, batch_size, token = args
     result = run_l0_by_name(
-        algorithm, _TRIAL_STREAM, eps, seed=seed, batch_size=batch_size
+        algorithm, load_shared(token), eps, seed=seed, batch_size=batch_size
     )
     return result.estimate, result.space_bits
 
@@ -162,11 +153,20 @@ def _pooled_trials(
     stream: MaterializedStream,
     workers: int,
 ) -> List[Tuple[float, int]]:
-    """Run the trial grid over a worker pool, preserving grid order."""
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_trial_worker, initargs=(stream,)
-    ) as pool:
-        return list(pool.map(trial, grid))
+    """Run the trial grid over the persistent pool, preserving grid order.
+
+    The (potentially large) replay stream is staged once on disk
+    (:func:`repro.parallel.stage_shared`) and each trial carries only
+    its token; workers load and memoize the stream per process.  This
+    replaces the pool-initializer idiom — the shared persistent pool is
+    already running, so it cannot take per-sweep initializers.
+    """
+    token = stage_shared(stream)
+    try:
+        pool = get_pool(workers)
+        return list(pool.map(trial, [args + (token,) for args in grid]))
+    finally:
+        discard_shared(token)
 
 
 def _collect_points(

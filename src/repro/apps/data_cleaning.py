@@ -18,12 +18,12 @@ normalised similarity score.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError
 from ..l0.knw_l0 import KNWHammingNormEstimator
+from ..parallel import discard_shared, get_pool, load_shared, stage_shared
 
 __all__ = ["SimilarColumnFinder", "ColumnPairReport"]
 
@@ -46,32 +46,19 @@ class ColumnPairReport:
     similarity: float
 
 
-#: Per-worker-process profiling context: the column store is shipped once
-#: per worker (via the pool initializer), so each pair task carries only
-#: two column names instead of two full value lists.
-_PAIR_CONTEXT: Optional[Tuple[int, float, int, int, Dict[str, List[int]]]] = None
-
-
-def _init_pair_worker(
-    universe_size: int,
-    eps: float,
-    seed: int,
-    magnitude_bound: int,
-    columns: Dict[str, List[int]],
-) -> None:
-    global _PAIR_CONTEXT
-    _PAIR_CONTEXT = (universe_size, eps, seed, magnitude_bound, columns)
-
-
-def _pair_hamming_worker(pair: Tuple[str, str]) -> float:
+def _pair_hamming_worker(task: Tuple[str, Tuple[str, str]]) -> float:
     """Worker body: build one pair's difference sketch, return its L0.
 
     Module-level so the process pool can import it by reference.  Each
     pair is independent (its own one-pass difference sketch), which makes
     the all-pairs profile embarrassingly parallel — the right axis for
-    turnstile sketches, which do not merge.
+    turnstile sketches, which do not merge.  The profiling context (the
+    full column store plus sketch parameters) is staged once on disk and
+    each task carries only its token and two column names; workers load
+    the context once per process (:func:`repro.parallel.load_shared`).
     """
-    universe_size, eps, seed, magnitude_bound, columns = _PAIR_CONTEXT
+    token, pair = task
+    universe_size, eps, seed, magnitude_bound, columns = load_shared(token)
     plus = columns[pair[0]]
     minus = columns[pair[1]]
     sketch = KNWHammingNormEstimator(
@@ -204,18 +191,22 @@ class SimilarColumnFinder:
         ]
         if workers is None or workers <= 1 or len(pairs) <= 1:
             return [self.pair_report(first, second) for first, second in pairs]
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_pair_worker,
-            initargs=(
+        token = stage_shared(
+            (
                 self.universe_size,
                 self.eps,
                 self.seed,
                 self.magnitude_bound,
                 self._columns,
-            ),
-        ) as pool:
-            estimates = list(pool.map(_pair_hamming_worker, pairs))
+            )
+        )
+        try:
+            pool = get_pool(workers)
+            estimates = list(
+                pool.map(_pair_hamming_worker, [(token, pair) for pair in pairs])
+            )
+        finally:
+            discard_shared(token)
         return [
             self._build_report(first, second, hamming)
             for (first, second), hamming in zip(pairs, estimates)

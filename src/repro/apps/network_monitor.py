@@ -284,7 +284,8 @@ class FlowCardinalityMonitor:
 
         Args:
             links: one packet-record sequence per link.
-            workers: worker processes (defaults to the CPU count).
+            workers: worker processes (defaults to the CPUs the process
+                may use — see :func:`repro.parallel.default_workers`).
 
         Returns:
             The completed window's report.
@@ -321,25 +322,11 @@ class FlowCardinalityMonitor:
                 field_shards(lambda r: r.destination % universe),
             ),
         ]
-        populated_links = sum(1 for link in links if len(link) > 0)
-        if populated_links > 1 and (workers is None or workers > 1):
-            # One pool serves all three field sketches; per-window pool
-            # startup is paid once, not three times.
-            from concurrent.futures import ProcessPoolExecutor
-
-            from ..parallel import default_workers
-
-            with ProcessPoolExecutor(
-                max_workers=min(
-                    workers if workers is not None else default_workers(),
-                    populated_links,
-                )
-            ) as pool:
-                for sketch, shards in fields:
-                    parallel_merge_shards(sketch, shards, executor=pool)
-        else:
-            for sketch, shards in fields:
-                parallel_merge_shards(sketch, shards, workers=workers)
+        # The engine's persistent pool serves all three field sketches —
+        # and every later window: pool startup is paid once per process,
+        # not once per window (or per field).
+        for sketch, shards in fields:
+            parallel_merge_shards(sketch, shards, workers=workers)
         for link in links:
             self._observe_fanout(link)
         self._packets_in_window = sum(len(link) for link in links)

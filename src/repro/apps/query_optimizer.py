@@ -177,16 +177,19 @@ class ColumnStatisticsCollector:
         """Bulk-ingest one column stored as several partitions, in parallel.
 
         The statistics-refresh shape of a partitioned table: each
-        partition's values are ingested by a worker process into a clone
-        of the column's (mergeable, same-seed) sketch and the results
-        merge-reduce back — see :mod:`repro.parallel`.  Equivalent to
-        calling :meth:`ingest_column` on the concatenation; ``None``
-        values (SQL NULLs) are skipped per partition.
+        partition's values are ingested by a worker process (drawn from
+        the engine's persistent pool, so repeated refreshes pay pool
+        startup once) into a clone of the column's (mergeable,
+        same-seed) sketch and the results merge-reduce back — see
+        :mod:`repro.parallel`.  Equivalent to calling
+        :meth:`ingest_column` on the concatenation; ``None`` values
+        (SQL NULLs) are skipped per partition.
 
         Args:
             column: the column name.
             partitions: one value sequence per table partition.
-            workers: worker processes (defaults to the CPU count).
+            workers: worker processes (defaults to the CPUs the process
+                may use — see :func:`repro.parallel.default_workers`).
         """
         self._require_column(column)
         shards = [

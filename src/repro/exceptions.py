@@ -55,6 +55,18 @@ class StreamFormatError(ReproError, ValueError):
     """A serialized stream or dataset description could not be parsed."""
 
 
+class WorkerFailureError(ReproError, RuntimeError):
+    """A sharded-ingestion shard kept failing past its retry budget.
+
+    The plan executor (:mod:`repro.parallel.plan`) retries a shard whose
+    worker raised or died, re-ingesting only that shard; when a shard
+    exhausts its bounded retry budget — or the failure broke an executor
+    the engine does not own and so cannot rebuild — the whole ingestion
+    fails with this exception.  The ``__cause__`` chain carries the last
+    underlying worker error.
+    """
+
+
 class SerializationError(ReproError, ValueError):
     """A sketch could not be serialized or deserialized.
 

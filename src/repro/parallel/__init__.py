@@ -1,0 +1,123 @@
+"""Sharded multi-process ingestion: declarative plans, one executor.
+
+This is the distributed-deployment shape the paper's introduction
+motivates (union of streams observed at many points) realised on one
+machine.  A stream is partitioned along a *shard axis*, each shard is
+ingested by a worker process into a state built from a *worker state
+recipe* (through the vectorized ``update_batch`` pipeline), the worker
+ships its state back serialized (:mod:`repro.serialize` — no pickle of
+live objects), and the coordinator lands the shard states under a
+*merge discipline*.  That ``(axis, recipe, discipline)`` triple is an
+:class:`IngestPlan`; one engine — :func:`execute_plan` — runs every
+plan, and the five legacy entry points are thin plan constructors:
+
+========================================  =========  =================  =================
+entry point                               axis       recipe             discipline
+========================================  =========  =================  =================
+:func:`parallel_ingest_f0` /              ``range``  ``clone``          ``merge-reduce``
+:func:`parallel_ingest_into` /
+:func:`parallel_merge_shards`
+:func:`parallel_ingest_l0` /              ``range``  ``cleared-clone``  ``additive``
+:func:`parallel_ingest_updates_into` /
+:func:`parallel_merge_update_shards`
+:func:`parallel_ingest_keyed`             ``key``    ``cleared-clone``  ``merge-reduce``
+:func:`parallel_ingest_windowed`          ``epoch``  ``template-epochs``  ``adopt-in-order``
+:func:`parallel_ingest_windowed_keyed`    ``epoch``  ``template-epochs``  ``adopt-in-order``
+========================================  =========  =================  =================
+
+The engine gives every plan three capabilities the hand-rolled
+pipelines could not express: **pipelined shard handoff** (the
+coordinator merges shard states as they complete instead of waiting on
+an end-of-shard barrier), **per-shard failure recovery** (a worker that
+raises or dies costs only its shard — bounded retries, deterministic
+final state), and the **process-wide persistent worker pool**
+(:mod:`repro.parallel.pool` — created lazily, reused across calls,
+fork-safe, explicitly shut down via :func:`shutdown_pool`).
+
+Execution modes:
+
+* ``"processes"`` — worker processes drawn from the persistent pool;
+  the wall-clock win on multi-core hosts (see
+  ``benchmarks/bench_parallel_ingest.py``).
+* ``"inline"`` — the identical shard / serialize / revive / merge
+  dataflow run in-process.  Results are byte-for-byte the same; used for
+  ``workers=1``, for tests, and on single-core machines where process
+  fan-out cannot pay for itself.
+"""
+
+from __future__ import annotations
+
+from .api import (
+    mergeable_f0_names,
+    mergeable_l0_names,
+    parallel_ingest_f0,
+    parallel_ingest_into,
+    parallel_ingest_keyed,
+    parallel_ingest_l0,
+    parallel_ingest_updates_into,
+    parallel_ingest_windowed,
+    parallel_ingest_windowed_keyed,
+    parallel_merge_shards,
+    parallel_merge_update_shards,
+)
+from .plan import (
+    DEFAULT_SHARD_BATCH,
+    DEFAULT_SHARD_RETRIES,
+    IngestPlan,
+    ShardFault,
+    execute_plan,
+)
+from .pool import (
+    default_workers,
+    discard_shared,
+    get_pool,
+    load_shared,
+    pool_stats,
+    reset_pool,
+    shutdown_pool,
+    stage_shared,
+)
+from .shards import (
+    shard_epoch_slices,
+    shard_items,
+    shard_keyed_updates,
+    shard_updates,
+)
+from .workers import InjectedShardFault
+
+__all__ = [
+    # The declarative core.
+    "IngestPlan",
+    "execute_plan",
+    "ShardFault",
+    "InjectedShardFault",
+    "DEFAULT_SHARD_BATCH",
+    "DEFAULT_SHARD_RETRIES",
+    # Shard-axis partitioners.
+    "shard_items",
+    "shard_updates",
+    "shard_keyed_updates",
+    "shard_epoch_slices",
+    # Entry points (plan constructors).
+    "parallel_merge_shards",
+    "parallel_merge_update_shards",
+    "parallel_ingest_into",
+    "parallel_ingest_updates_into",
+    "parallel_ingest_f0",
+    "parallel_ingest_l0",
+    "parallel_ingest_keyed",
+    "parallel_ingest_windowed",
+    "parallel_ingest_windowed_keyed",
+    # Registry probes.
+    "mergeable_f0_names",
+    "mergeable_l0_names",
+    # The persistent worker pool.
+    "default_workers",
+    "get_pool",
+    "reset_pool",
+    "shutdown_pool",
+    "pool_stats",
+    "stage_shared",
+    "load_shared",
+    "discard_shared",
+]
