@@ -1,0 +1,159 @@
+"""Durability tax and recovery speed of the write-ahead-logged ingest path.
+
+The durability subsystem promises that wrapping a sketch in a
+:class:`~repro.durability.Checkpointer` costs a bounded constant factor
+over bare batched ingestion, because the log amortises one serialized
+delta record plus one ``fsync`` over every ``update_batch`` call.  Two
+ingest paths are timed over the same batched workload:
+
+* ``unlogged`` — ``update_batch`` straight into the estimator;
+* ``logged`` — ``Checkpointer.ingest`` per batch (encode the delta,
+  apply the decoded record, append + fsync), with periodic snapshots.
+
+Acceptance gate (asserted at full scale): the logged path must stay
+within 2x of the unlogged wall-clock for the ``knw`` family at 1M
+items in 64Ki batches.  The gate is skipped — with the measured table
+still printed — when the workload has been shrunk for a smoke run.
+
+Recovery is then timed cold: ``recover()`` over the directory the
+logged run left behind (newest snapshot + delta suffix), reported as
+both bytes/s over the scanned log and the normalised seconds-per-GB
+figure.  A correctness check always runs: the recovered sketch must be
+bit-identical (``to_bytes``) to the live one.
+
+Environment knobs (for CI smoke runs and local experiments):
+
+* ``BENCH_DURABILITY_ITEMS`` — total items ingested (default 1_000_000).
+* ``BENCH_DURABILITY_BATCH`` — items per batch (default 65536).
+* ``BENCH_DURABILITY_SNAPSHOT_EVERY`` — delta records between automatic
+  snapshots (default 16).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from conftest import BENCH_UNIVERSE, emit, metric, record, run_once
+
+from repro.durability import Checkpointer, recover
+from repro.estimators.registry import make_f0_estimator
+
+#: Full-scale defaults; override via the environment for smoke runs.
+ITEMS = int(os.environ.get("BENCH_DURABILITY_ITEMS", 1_000_000))
+BATCH = int(os.environ.get("BENCH_DURABILITY_BATCH", 65536))
+SNAPSHOT_EVERY = int(os.environ.get("BENCH_DURABILITY_SNAPSHOT_EVERY", 16))
+
+EPS = 0.05
+SEED = 13
+
+#: Family under the assertion gate and its allowed slowdown.
+GATED_FAMILY = "knw"
+GATE_OVERHEAD = 2.0
+
+#: Scale below which the gate is skipped (smoke runs).
+GATE_ITEMS = 1_000_000
+
+_GIB = float(1 << 30)
+
+
+def _batches():
+    items = np.random.RandomState(20100610).randint(
+        0, BENCH_UNIVERSE, size=ITEMS
+    ).astype(np.uint64)
+    return [items[start : start + BATCH] for start in range(0, ITEMS, BATCH)]
+
+
+def _directory_bytes(directory):
+    return sum(
+        os.path.getsize(os.path.join(directory, name))
+        for name in os.listdir(directory)
+    )
+
+
+def test_durability_overhead_and_recovery(benchmark, tmp_path_factory):
+    batches = _batches()
+    directory = str(tmp_path_factory.mktemp("durability"))
+
+    def run():
+        unlogged = make_f0_estimator(GATED_FAMILY, BENCH_UNIVERSE, EPS, SEED)
+        start = time.perf_counter()
+        for batch in batches:
+            unlogged.update_batch(batch)
+        unlogged_seconds = time.perf_counter() - start
+
+        checkpointer = Checkpointer(
+            make_f0_estimator(GATED_FAMILY, BENCH_UNIVERSE, EPS, SEED),
+            directory,
+            snapshot_every=SNAPSHOT_EVERY,
+        )
+        start = time.perf_counter()
+        for batch in batches:
+            checkpointer.ingest(batch)
+        logged_seconds = time.perf_counter() - start
+        live_bytes = checkpointer.target.to_bytes()
+        checkpointer.close()
+
+        log_bytes = _directory_bytes(directory)
+        start = time.perf_counter()
+        recovered, report = recover(directory)
+        recovery_seconds = time.perf_counter() - start
+        assert report.clean, report.summary()
+        assert recovered.to_bytes() == live_bytes
+        assert recovered.estimate() == unlogged.estimate()
+        return unlogged_seconds, logged_seconds, log_bytes, recovery_seconds
+
+    unlogged_seconds, logged_seconds, log_bytes, recovery_seconds = run_once(
+        benchmark, run
+    )
+
+    overhead = logged_seconds / unlogged_seconds if unlogged_seconds else float("inf")
+    recovery_rate = log_bytes / recovery_seconds if recovery_seconds else float("inf")
+    seconds_per_gib = _GIB / recovery_rate
+    emit(
+        "E14: durability tax and recovery speed (%s, %d items, %d-item batches)"
+        % (GATED_FAMILY, ITEMS, BATCH),
+        "\n".join(
+            [
+                "unlogged ingest:  %8.3f s  (%.0f items/s)"
+                % (unlogged_seconds, ITEMS / unlogged_seconds),
+                "logged ingest:    %8.3f s  (%.0f items/s)"
+                % (logged_seconds, ITEMS / logged_seconds),
+                "overhead:         %8.2fx  (gate: <= %.1fx)"
+                % (overhead, GATE_OVERHEAD),
+                "log size:         %8.1f KiB over %d delta batches"
+                % (log_bytes / 1024.0, len(batches)),
+                "recovery:         %8.3f s  (%.1f MiB/s, %.1f s/GiB)"
+                % (
+                    recovery_seconds,
+                    recovery_rate / (1 << 20),
+                    seconds_per_gib,
+                ),
+            ]
+        ),
+    )
+    record(
+        "durability",
+        {
+            "unlogged_items_per_s": metric(
+                ITEMS / unlogged_seconds, "higher", "rate", "items/s"
+            ),
+            "logged_items_per_s": metric(
+                ITEMS / logged_seconds, "higher", "rate", "items/s"
+            ),
+            "logged_overhead": metric(overhead, "lower", "rate", "x"),
+            "recovery_bytes_per_s": metric(
+                recovery_rate, "higher", "rate", "bytes/s"
+            ),
+        },
+        scale={"items": ITEMS, "batch": BATCH, "snapshot_every": SNAPSHOT_EVERY},
+    )
+
+    if ITEMS >= GATE_ITEMS:
+        assert overhead <= GATE_OVERHEAD, (
+            "durable ingest overhead %.2fx above the %.1fx gate"
+            % (overhead, GATE_OVERHEAD)
+        )

@@ -59,6 +59,10 @@ The main entry points are:
 * :mod:`repro.analysis.runner` — run any estimator over any stream, with
   optional ``batch_size`` for batched driving and ``workers`` for
   sharded multi-process ingestion.
+* :mod:`repro.durability` — crash-safe persistence: a checksummed
+  write-ahead log plus snapshot checkpointing for any sketch, store, or
+  windowed ring (``Checkpointer``), with bit-identical ``recover()``
+  verified by SIGKILL crash injection.
 * :mod:`repro.apps` — query-optimiser, network-monitoring, and data-cleaning applications.
 
 See ``README.md`` for the module-to-theorem map and ``docs/architecture.md``
@@ -67,6 +71,7 @@ for the class hierarchy and the batch-ingestion data flow.
 
 from ._version import __version__
 from .core.fast_knw import FastKNWDistinctCounter
+from .durability import Checkpointer, DurableLog, RecoveryReport, recover
 from .core.knw import KNWDistinctCounter
 from .core.rough_estimator import RoughEstimator
 from .estimators.base import CardinalityEstimator, TurnstileEstimator
@@ -81,6 +86,7 @@ from .estimators.registry import (
 from .exceptions import (
     MergeError,
     ParameterError,
+    PersistenceError,
     ReproError,
     SerializationError,
     SketchFailure,
@@ -118,8 +124,13 @@ __all__ = [
     "l0_algorithm_names",
     "make_f0_estimator",
     "make_l0_estimator",
+    "Checkpointer",
+    "DurableLog",
+    "RecoveryReport",
+    "recover",
     "MergeError",
     "ParameterError",
+    "PersistenceError",
     "ReproError",
     "SerializationError",
     "SketchFailure",

@@ -135,6 +135,56 @@ def _drive_batched(
     feed_until(len(stream), cursor)
 
 
+def _drive_persistent(
+    estimator,
+    stream: MaterializedStream,
+    positions: Sequence[int],
+    truths: Sequence[int],
+    checkpoints: List[CheckpointResult],
+    batch_size: Optional[int],
+    turnstile: bool,
+    persist_dir: str,
+) -> None:
+    """Feed the stream through a write-ahead-logged Checkpointer.
+
+    Every ``batch_size`` chunk becomes one durable delta record, and
+    every checkpoint boundary (plus end of stream) writes a full
+    snapshot and compacts the log — so a crash mid-run recovers to the
+    last acknowledged batch via :func:`repro.durability.recover`,
+    bit-identical to the state the run had there.  The estimate/error
+    results are identical to the un-persisted batched drive.
+    """
+    from ..durability import Checkpointer
+
+    items = stream.item_array()
+    deltas = stream.delta_array() if turnstile else None
+    chunk = batch_size if batch_size is not None else DEFAULT_SHARD_BATCH
+    checkpointer = Checkpointer(estimator, persist_dir)
+    try:
+
+        def feed_until(boundary: int, cursor: int) -> int:
+            while cursor < boundary:
+                stop = min(cursor + chunk, boundary)
+                checkpointer.ingest(
+                    items[cursor:stop],
+                    None if deltas is None else deltas[cursor:stop],
+                )
+                cursor = stop
+            return cursor
+
+        cursor = 0
+        for position, truth in zip(positions, truths):
+            if position > cursor:
+                cursor = feed_until(position, cursor)
+                checkpointer.snapshot()
+            if position > 0:
+                _checkpoint(checkpoints, estimator, position, truth)
+        feed_until(len(stream), cursor)
+        checkpointer.snapshot()
+    finally:
+        checkpointer.close()
+
+
 def _drive_sharded(
     estimator,
     stream: MaterializedStream,
@@ -193,11 +243,33 @@ def _run(
     turnstile: bool,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    persist_dir: Optional[str] = None,
 ) -> RunResult:
     positions = list(checkpoint_positions) if checkpoint_positions else []
     truths = stream.ground_truth_at(positions) if positions else []
     checkpoints: List[CheckpointResult] = []
-    if workers is not None and workers > 1:
+    if persist_dir is not None:
+        if workers is not None and workers > 1:
+            raise ParameterError(
+                "persist_dir is incompatible with workers > 1: sharded "
+                "merges bypass the write-ahead log, so the recovered state "
+                "would silently miss them"
+            )
+        if batch_size is not None and batch_size <= 0:
+            raise ParameterError("batch_size must be positive")
+        if not turnstile and not stream.is_insertion_only():
+            raise UpdateError("insertion-only run received a turnstile stream")
+        _drive_persistent(
+            estimator,
+            stream,
+            positions,
+            truths,
+            checkpoints,
+            batch_size,
+            turnstile,
+            persist_dir,
+        )
+    elif workers is not None and workers > 1:
         _drive_sharded(
             estimator,
             stream,
@@ -259,6 +331,7 @@ def run_f0(
     checkpoint_positions: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    persist_dir: Optional[str] = None,
 ) -> RunResult:
     """Run an insertion-only estimator over a stream.
 
@@ -273,6 +346,12 @@ def run_f0(
         workers: when > 1, ingest each inter-checkpoint segment through
             the sharded multi-process engine (requires a mergeable
             estimator built with an explicit seed).
+        persist_dir: when set, every ingested chunk is write-ahead
+            logged to this (fresh) directory and every checkpoint
+            boundary writes a durable snapshot, so a killed run is
+            recoverable with :func:`repro.durability.recover`; results
+            are identical to the un-persisted run.  Incompatible with
+            ``workers > 1``.
     """
     if not stream.is_insertion_only():
         raise ParameterError("run_f0 requires an insertion-only stream")
@@ -283,6 +362,7 @@ def run_f0(
         turnstile=False,
         batch_size=batch_size,
         workers=workers,
+        persist_dir=persist_dir,
     )
 
 
@@ -292,13 +372,15 @@ def run_l0(
     checkpoint_positions: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    persist_dir: Optional[str] = None,
 ) -> RunResult:
     """Run a turnstile estimator over a stream (see :func:`run_f0`).
 
     ``workers > 1`` ingests each inter-checkpoint segment through the
     sharded L0 engine — the library's L0 sketches are linear, so the
     sharded state is bit-identical to serial driving (requires an
-    estimator built with an explicit seed).
+    estimator built with an explicit seed).  ``persist_dir`` write-ahead
+    logs the run exactly as in :func:`run_f0`.
     """
     return _run(
         estimator,
@@ -307,6 +389,7 @@ def run_l0(
         turnstile=True,
         batch_size=batch_size,
         workers=workers,
+        persist_dir=persist_dir,
     )
 
 
@@ -486,11 +569,17 @@ def run_f0_by_name(
     checkpoint_positions: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    persist_dir: Optional[str] = None,
 ) -> RunResult:
     """Instantiate a registered F0 algorithm and run it over ``stream``."""
     estimator = make_f0_estimator(name, stream.universe_size, eps, seed)
     return run_f0(
-        estimator, stream, checkpoint_positions, batch_size=batch_size, workers=workers
+        estimator,
+        stream,
+        checkpoint_positions,
+        batch_size=batch_size,
+        workers=workers,
+        persist_dir=persist_dir,
     )
 
 
@@ -502,10 +591,16 @@ def run_l0_by_name(
     checkpoint_positions: Optional[Sequence[int]] = None,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    persist_dir: Optional[str] = None,
 ) -> RunResult:
     """Instantiate a registered L0 algorithm and run it over ``stream``."""
     magnitude_bound = max(len(stream) * stream.max_update_magnitude(), 1)
     estimator = make_l0_estimator(name, stream.universe_size, eps, magnitude_bound, seed)
     return run_l0(
-        estimator, stream, checkpoint_positions, batch_size=batch_size, workers=workers
+        estimator,
+        stream,
+        checkpoint_positions,
+        batch_size=batch_size,
+        workers=workers,
+        persist_dir=persist_dir,
     )

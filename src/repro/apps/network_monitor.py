@@ -26,12 +26,14 @@ a monitoring feature.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..core.fast_knw import FastKNWDistinctCounter
 from ..core.knw import KNWDistinctCounter
-from ..exceptions import ParameterError
+from ..estimators.base import SerializableState
+from ..exceptions import ParameterError, PersistenceError
 from ..l0.knw_l0 import KNWHammingNormEstimator
 from ..parallel import parallel_merge_shards
 from ..store import LinearCountingSketchArray, SketchStore
@@ -64,7 +66,7 @@ class WindowReport:
     scan_suspects: List[int]
 
 
-class FlowCardinalityMonitor:
+class FlowCardinalityMonitor(SerializableState):
     """Streaming monitor of distinct-flow statistics over packet windows.
 
     Each reporting window is one epoch of four sliding-window rings
@@ -73,6 +75,16 @@ class FlowCardinalityMonitor:
     ``*_last(k)`` methods, answered by exact merge-rollup rather than by
     re-observing any traffic.
 
+    With ``persist_dir=`` the monitor becomes durable: every observed
+    packet batch and window roll is write-ahead logged through a
+    :class:`~repro.durability.Checkpointer` before it is acknowledged,
+    a full snapshot is taken at each window roll (sealing and compacting
+    the log), and constructing over a non-empty directory *recovers* —
+    the new monitor resumes bit-identically from the last durably
+    acknowledged record, mid-window state included.  :attr:`last_recovery`
+    carries the :class:`~repro.durability.RecoveryReport` of that
+    construction-time recovery (``None`` on a fresh directory).
+
     Attributes:
         universe_size: size of the identifier universe flows are folded into.
         eps: relative-error target for the sketches.
@@ -80,6 +92,22 @@ class FlowCardinalityMonitor:
             which the source is flagged as a scan suspect.
         window_history: windows retained per ring (open window included).
     """
+
+    #: Replay methods :func:`repro.durability.checkpoint.apply_delta` may
+    #: invoke from ``op == "call"`` log records.  Everything the durable
+    #: monitor mutates goes through exactly these three, so the log is a
+    #: complete transcript of the monitor's evolution.
+    WAL_METHODS = ("_wal_packets", "_wal_roll", "_wal_flow_events")
+
+    #: Runtime-only attributes excluded from snapshots: the checkpointer
+    #: holds an open log (unserializable by design), and the recovery
+    #: report describes *this process's* startup, not monitor state.
+    _EPHEMERAL = ("_checkpointer", "_recovery_report")
+
+    #: Class-level defaults so revived instances (whose snapshots never
+    #: contain the ephemeral fields) still resolve the attributes.
+    _checkpointer: Optional[Any] = None
+    _recovery_report: Optional[Any] = None
 
     def __init__(
         self,
@@ -91,6 +119,7 @@ class FlowCardinalityMonitor:
         mergeable: bool = False,
         track_active_flows: bool = False,
         window_history: int = 8,
+        persist_dir: Optional[str] = None,
     ) -> None:
         """Create the monitor.
 
@@ -119,6 +148,15 @@ class FlowCardinalityMonitor:
             window_history: number of reporting windows each sliding ring
                 retains (the open window included); the rolling queries
                 accept any width up to this.
+            persist_dir: durably log every mutation to this directory
+                (write-ahead log + per-window snapshots).  A non-empty
+                directory is *recovered from* instead of overwritten:
+                the construction parameters are replaced by the persisted
+                monitor's state and ingestion resumes where the log ends.
+                Incompatible with :meth:`ingest_window_shards` (in-place
+                parallel merges bypass the log).  Call :meth:`close` (or
+                use the monitor as a context manager) to release the
+                directory lock.
         """
         if window_packets <= 0:
             raise ParameterError("window_packets must be positive")
@@ -183,9 +221,149 @@ class FlowCardinalityMonitor:
             ),
             retention=window_history,
         )
+        self._checkpointer = None
+        self._recovery_report = None
+        if persist_dir is not None:
+            self._attach_persistence(persist_dir)
+
+    # -- durable persistence --------------------------------------------------
+
+    def _attach_persistence(self, persist_dir: str) -> None:
+        """Open (or recover) the durable log and bind it to this instance."""
+        from ..durability import Checkpointer
+
+        checkpointer, report = Checkpointer.open(persist_dir, lambda: self)
+        if checkpointer.target is not self:
+            # The directory held prior state: adopt the recovered monitor
+            # wholesale (its sketches ARE the durable state) and point the
+            # checkpointer back at this instance.
+            recovered = checkpointer.target
+            if type(recovered) is not FlowCardinalityMonitor:
+                checkpointer.close()
+                raise PersistenceError(
+                    "persist_dir %r holds a durable %s, not a "
+                    "FlowCardinalityMonitor"
+                    % (persist_dir, type(recovered).__name__)
+                )
+            self.__dict__.clear()
+            self.__dict__.update(recovered.__dict__)
+            checkpointer.target = self
+        self._checkpointer = checkpointer
+        self._recovery_report = report
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this monitor write-ahead logs to a durable directory."""
+        return self._checkpointer is not None
+
+    @property
+    def last_recovery(self) -> Optional[Any]:
+        """The construction-time :class:`~repro.durability.RecoveryReport`.
+
+        ``None`` for a non-persistent monitor or a fresh directory.
+        """
+        return self._recovery_report
+
+    @contextmanager
+    def _detached(self):
+        """Temporarily strip runtime-only fields for snapshot capture."""
+        stash = {
+            name: self.__dict__.pop(name)
+            for name in self._EPHEMERAL
+            if name in self.__dict__
+        }
+        try:
+            yield
+        finally:
+            self.__dict__.update(stash)
+
+    def state_dict(self):
+        with self._detached():
+            return super().state_dict()
+
+    def to_bytes(self) -> bytes:
+        with self._detached():
+            return super().to_bytes()
+
+    def close(self) -> None:
+        """Snapshot (if persistent) and release the durable-log lock."""
+        if self._checkpointer is not None:
+            self._checkpointer.snapshot()
+            self._checkpointer.close()
+            self._checkpointer = None
+
+    def __enter__(self) -> "FlowCardinalityMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _packet_arrays(self, records: Sequence[FlowRecord]) -> Tuple[Any, ...]:
+        """Extract the four WAL-record arrays for one in-window packet slice."""
+        universe = self.universe_size
+        if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            return (
+                [record.flow_id(universe) for record in records],
+                [record.source % universe for record in records],
+                [record.destination % universe for record in records],
+                [record.source for record in records],
+            )
+        count = len(records)
+        return (
+            np.fromiter(
+                (record.flow_id(universe) for record in records),
+                dtype=np.uint64,
+                count=count,
+            ),
+            np.fromiter(
+                (record.source % universe for record in records),
+                dtype=np.uint64,
+                count=count,
+            ),
+            np.fromiter(
+                (record.destination % universe for record in records),
+                dtype=np.uint64,
+                count=count,
+            ),
+            np.fromiter(
+                (record.source for record in records), dtype=np.int64, count=count
+            ),
+        )
+
+    def _wal_packets(self, flow_ids, sources, destinations, raw_sources) -> None:
+        """Replay method: ingest one in-window packet slice from log arrays."""
+        if len(flow_ids):
+            self._flows.update_batch(flow_ids)
+            self._sources.update_batch(sources)
+            self._destinations.update_batch(destinations)
+            self._fanout_store.update_grouped(raw_sources, destinations)
+        self._packets_in_window += len(flow_ids)
+
+    def _wal_roll(self) -> None:
+        """Replay method: close the current window."""
+        self._roll_window()
+
+    def _wal_flow_events(self, flow_ids, deltas) -> None:
+        """Replay method: batched flow open/close events from log arrays."""
+        self._require_active_flows().update_batch(flow_ids, deltas)
+
+    def _close_window(self) -> WindowReport:
+        """Roll the window, durably logging the roll when persistent."""
+        if self._checkpointer is None:
+            return self._roll_window()
+        self._checkpointer.call("_wal_roll")
+        # A window roll is the natural checkpoint: snapshot, seal the
+        # segment, and compact, so recovery replays at most one window.
+        self._checkpointer.snapshot()
+        return self._reports[-1]
 
     def observe(self, record: FlowRecord) -> Optional[WindowReport]:
         """Process one packet header; returns a report when a window closes."""
+        if self._checkpointer is not None:
+            # Persistent monitors route scalars through the (bit-identical)
+            # batched WAL path so live and replayed state match exactly.
+            reports = self.observe_batch([record])
+            return reports[0] if reports else None
         flow_id = record.flow_id(self.universe_size)
         self._flows.update(flow_id)
         self._sources.update(record.source % self.universe_size)
@@ -224,10 +402,18 @@ class FlowCardinalityMonitor:
             room = self.window_packets - self._packets_in_window
             window_slice = records[position : position + room]
             position += len(window_slice)
-            self._observe_slice(window_slice)
-            self._packets_in_window += len(window_slice)
+            if self._checkpointer is not None:
+                # One WAL record per in-window slice: apply-then-log with
+                # the decoded arrays (see Checkpointer._commit), so replay
+                # reproduces this exact ingestion bit for bit.
+                self._checkpointer.call(
+                    "_wal_packets", *self._packet_arrays(window_slice)
+                )
+            else:
+                self._observe_slice(window_slice)
+                self._packets_in_window += len(window_slice)
             if self._packets_in_window >= self.window_packets:
-                reports.append(self._roll_window())
+                reports.append(self._close_window())
         return reports
 
     def _observe_slice(self, records: Sequence[FlowRecord]) -> None:
@@ -295,6 +481,12 @@ class FlowCardinalityMonitor:
                 "per-link sharded ingestion needs mergeable sketches; "
                 "construct the monitor with mergeable=True"
             )
+        if self._checkpointer is not None:
+            raise ParameterError(
+                "ingest_window_shards is incompatible with persist_dir: "
+                "in-place parallel merges bypass the write-ahead log; "
+                "ingest through observe_batch instead"
+            )
         if self._packets_in_window:
             raise ParameterError(
                 "ingest_window_shards expects an empty current window; "
@@ -344,10 +536,16 @@ class FlowCardinalityMonitor:
 
     def observe_flow_open(self, record: FlowRecord) -> None:
         """Record a flow-establishment event (e.g. a TCP SYN): ``x_flow += 1``."""
+        if self._checkpointer is not None:
+            self.observe_flow_events_batch([record], [1])
+            return
         self._require_active_flows().update(record.flow_id(self.universe_size), 1)
 
     def observe_flow_close(self, record: FlowRecord) -> None:
         """Record a flow-teardown event (e.g. a FIN/RST): ``x_flow -= 1``."""
+        if self._checkpointer is not None:
+            self.observe_flow_events_batch([record], [-1])
+            return
         self._require_active_flows().update(record.flow_id(self.universe_size), -1)
 
     def observe_flow_events_batch(
@@ -367,6 +565,12 @@ class FlowCardinalityMonitor:
                 "observe_flow_events_batch needs one delta per record"
             )
         if not HAS_NUMPY:  # pragma: no cover - numpy is a declared dependency
+            if self._checkpointer is not None:
+                flow_ids = [record.flow_id(self.universe_size) for record in records]
+                self._checkpointer.call(
+                    "_wal_flow_events", flow_ids, [int(delta) for delta in deltas]
+                )
+                return
             for record, delta in zip(records, deltas):
                 sketch.update(record.flow_id(self.universe_size), int(delta))
             return
@@ -376,7 +580,11 @@ class FlowCardinalityMonitor:
             dtype=np.uint64,
             count=len(records),
         )
-        sketch.update_batch(flow_ids, np.asarray(deltas, dtype=np.int64))
+        signed = np.asarray(deltas, dtype=np.int64)
+        if self._checkpointer is not None:
+            self._checkpointer.call("_wal_flow_events", flow_ids, signed)
+            return
+        sketch.update_batch(flow_ids, signed)
 
     def active_flow_estimate(self) -> float:
         """Return the estimated number of currently open flows (L0)."""
@@ -434,7 +642,7 @@ class FlowCardinalityMonitor:
         """Close the current (possibly partial) window and return its report."""
         if self._packets_in_window == 0:
             return None
-        return self._roll_window()
+        return self._close_window()
 
     @property
     def reports(self) -> List[WindowReport]:

@@ -1,0 +1,319 @@
+"""Deterministic SIGKILL crash-injection harness for the durability layer.
+
+The proof obligation of :mod:`repro.durability` is *bit-identical
+recovery*: kill an ingesting process at an arbitrary point in the log
+and ``recover()`` must yield exactly the prefix state the log durably
+acknowledged — not an approximation of it.  This module makes that a
+repeatable experiment:
+
+* a **spec** (plain dict — JSON-portable) names a workload from the
+  zoo (:mod:`repro.streams.workloads`), a target (bare estimator,
+  turnstile sketch, keyed store, or windowed ring), batching, and a
+  kill rule;
+* :func:`run_child` (also reachable as ``python -m
+  repro.durability.crashtest '<json-spec>'``) ingests the workload
+  through a :class:`~repro.durability.Checkpointer` and SIGKILLs
+  *itself* the moment the write-ahead log crosses the spec's byte or
+  record threshold — self-inflicted kills land at exact, reproducible
+  log offsets, which a controller-timed signal cannot guarantee;
+* :func:`run_crash_cycle` launches that child in a subprocess, recovers
+  the directory it left behind, replays the same seed cleanly in
+  process, and compares ``to_bytes()`` bit for bit.
+
+Kill thresholds come from :func:`kill_points`, which hashes the spec
+seed — "randomized" offsets that are nevertheless stamped by the seed,
+so a failing combination replays exactly (the ``ShardFault`` discipline
+from the parallel engine, applied to durability).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from .. import serialize
+from ..estimators.registry import make_f0_estimator, make_l0_estimator
+from ..exceptions import PersistenceError
+from ..store.store import SketchStore
+from ..streams.workloads import WorkloadScale, make_workload
+from ..window.windowed import WindowedSketch
+from .checkpoint import Checkpointer, RecoveryReport, apply_delta, recover
+from .log import RECORD_KIND_DELTA, encode_record
+
+__all__ = [
+    "CrashOutcome",
+    "build_target",
+    "default_spec",
+    "iter_delta_trees",
+    "kill_points",
+    "run_child",
+    "run_clean",
+    "run_crash_cycle",
+]
+
+#: Smoke-scale workload knobs; small enough that a full family sweep
+#: with several kill points stays inside a CI step.
+_SMOKE_SCALE = dict(
+    universe_size=1 << 14, length=6000, key_count=64, epochs=6, updates_per_epoch=900
+)
+
+
+def default_spec(
+    directory: str,
+    kind: str = "estimator",
+    family: str = "hyperloglog",
+    workload: str = "skew",
+    seed: int = 0,
+    batch_size: int = 512,
+    snapshot_every: Optional[int] = 5,
+    kill: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a harness spec with smoke-scale defaults."""
+    return {
+        "directory": directory,
+        "kind": kind,
+        "family": family,
+        "workload": workload,
+        "seed": seed,
+        "eps": 0.2,
+        "batch_size": batch_size,
+        "snapshot_every": snapshot_every,
+        "scale": dict(_SMOKE_SCALE),
+        "kill": kill or {"mode": "none"},
+    }
+
+
+def _scale(spec: Dict[str, Any]) -> WorkloadScale:
+    return WorkloadScale(**spec["scale"])
+
+
+def build_target(spec: Dict[str, Any]) -> Any:
+    """Construct the pristine ingestion target a spec describes."""
+    kind = spec["kind"]
+    universe = spec["scale"]["universe_size"]
+    eps = spec["eps"]
+    seed = spec["seed"]
+    if kind == "estimator":
+        return make_f0_estimator(spec["family"], universe, eps, seed=seed)
+    if kind == "turnstile":
+        stream = make_workload(spec["workload"], "stream", seed=seed, scale=_scale(spec))
+        return make_l0_estimator(
+            spec["family"], universe, eps, stream.max_update_magnitude(), seed=seed
+        )
+    if kind == "store":
+        return SketchStore.for_family(spec["family"], universe, eps=eps, seed=seed)
+    if kind == "windowed":
+        template = make_f0_estimator(spec["family"], universe, eps, seed=seed)
+        return WindowedSketch(template, retention=spec["scale"]["epochs"])
+    raise PersistenceError("unknown crash-test target kind %r" % (kind,))
+
+
+def iter_delta_trees(spec: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Yield the delta-record argument dicts a spec's ingestion produces.
+
+    The child feeds these through :meth:`Checkpointer.ingest`; the clean
+    verifier feeds the same sequence through :func:`apply_delta`.  Both
+    sides derive them from the same seeded workload, so record ``i`` is
+    byte-for-byte the same on either side.
+    """
+    kind = spec["kind"]
+    step = spec["batch_size"]
+    scale = _scale(spec)
+    seed = spec["seed"]
+    if kind in ("estimator", "turnstile"):
+        stream = make_workload(spec["workload"], "stream", seed=seed, scale=scale)
+        items = stream.item_array()
+        deltas = stream.delta_array() if kind == "turnstile" else None
+        for start in range(0, len(items), step):
+            yield {
+                "items": items[start : start + step],
+                "deltas": None if deltas is None else deltas[start : start + step],
+            }
+    elif kind == "store":
+        keyed = make_workload(spec["workload"], "keyed", seed=seed, scale=scale)
+        for start in range(0, len(keyed.items), step):
+            yield {
+                "keys": keyed.keys[start : start + step],
+                "items": keyed.items[start : start + step],
+                "deltas": None
+                if keyed.deltas is None
+                else keyed.deltas[start : start + step],
+            }
+    elif kind == "windowed":
+        windowed = make_workload(spec["workload"], "windowed", seed=seed, scale=scale)
+        for start in range(0, len(windowed.items), step):
+            yield {
+                "ts": windowed.epochs[start : start + step],
+                "items": windowed.items[start : start + step],
+                "deltas": None
+                if windowed.deltas is None
+                else windowed.deltas[start : start + step],
+            }
+    else:
+        raise PersistenceError("unknown crash-test target kind %r" % (kind,))
+
+
+def _apply_canonical(target: Any, tree: Dict[str, Any]) -> None:
+    # Mirror Checkpointer._commit exactly: the live path applies the
+    # encode/decode round-trip of the record, so the clean run must too.
+    payload = serialize.dumps_tree(dict(tree, op="ingest"))
+    apply_delta(target, serialize.loads_tree(payload))
+
+
+def run_clean(spec: Dict[str, Any], upto: Optional[int] = None) -> Any:
+    """Ingest the spec's first ``upto`` records in process, no logging."""
+    target = build_target(spec)
+    for index, tree in enumerate(iter_delta_trees(spec)):
+        if upto is not None and index >= upto:
+            break
+        _apply_canonical(target, tree)
+    return target
+
+
+def kill_points(spec: Dict[str, Any], count: int, total_bytes: int) -> List[int]:
+    """Seed-stamped byte offsets at which to kill the ingesting child.
+
+    Deterministic in ``(seed, kind, family, workload, count)``: a CI
+    failure names its spec and replays to the same offsets.
+    """
+    stamp = "%s|%s|%s|%d" % (
+        spec["kind"],
+        spec["family"],
+        spec["workload"],
+        spec["seed"],
+    )
+    rng = random.Random(stamp)
+    return sorted(
+        max(1, int(rng.uniform(0.05, 0.95) * total_bytes)) for _ in range(count)
+    )
+
+
+def run_child(spec: Dict[str, Any]) -> None:
+    """Ingest the spec's workload, self-SIGKILLing per the kill rule.
+
+    The kill fires from the log's ``after_append`` hook — i.e. strictly
+    *after* a record became durable — so the set of acknowledged records
+    at death is exact, not racy.  ``kill.mode``:
+
+    ``"none"``      run to completion (final snapshot, clean close).
+    ``"bytes"``     die once ``kill.at`` framed WAL bytes are durable.
+    ``"records"``   die once ``kill.at`` delta records are durable.
+
+    With ``kill.torn`` true, the child first appends a half-written
+    record to the live segment (flushed, fsync'd, then SIGKILL) — a
+    reproducible torn tail from a real mid-write death.
+    """
+    kill = spec.get("kill") or {"mode": "none"}
+    checkpointer = Checkpointer(
+        build_target(spec),
+        spec["directory"],
+        snapshot_every=spec.get("snapshot_every"),
+    )
+
+    def _die(log) -> None:
+        if kill.get("torn"):
+            frame = encode_record(
+                RECORD_KIND_DELTA,
+                checkpointer.seq + 1,
+                serialize.dumps_tree({"op": "ingest", "items": None}),
+            )
+            handle = log._segment_handle
+            handle.write(frame[: max(1, len(frame) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    mode = kill.get("mode", "none")
+    if mode == "bytes":
+        checkpointer.log.after_append = (
+            lambda log: _die(log) if log.bytes_appended >= kill["at"] else None
+        )
+    elif mode == "records":
+        checkpointer.log.after_append = (
+            lambda log: _die(log) if checkpointer.seq >= kill["at"] else None
+        )
+    elif mode != "none":
+        raise PersistenceError("unknown kill mode %r" % (mode,))
+
+    for tree in iter_delta_trees(spec):
+        checkpointer.ingest(**tree)
+    checkpointer.snapshot()
+    checkpointer.close()
+
+
+@dataclass
+class CrashOutcome:
+    """One kill-recover-verify cycle's verdict."""
+
+    spec: Dict[str, Any]
+    returncode: int
+    killed: bool
+    report: RecoveryReport
+    #: Delta records the recovered state contains.
+    applied_records: int
+    #: Delta records the full (uninterrupted) run would contain.
+    total_records: int
+    #: ``to_bytes()`` of recovery == clean same-seed run of the prefix.
+    bit_identical: bool
+
+    @property
+    def ok(self) -> bool:
+        expected_death = (self.spec.get("kill") or {}).get("mode", "none") != "none"
+        return self.bit_identical and self.killed == expected_death
+
+
+def run_crash_cycle(spec: Dict[str, Any], timeout: float = 180.0) -> CrashOutcome:
+    """Run the child under its kill rule, recover, and verify bit-identity."""
+    child = subprocess.run(
+        [sys.executable, "-m", "repro.durability.crashtest", json.dumps(spec)],
+        timeout=timeout,
+        env=_child_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    killed = child.returncode == -signal.SIGKILL
+    if not killed and child.returncode != 0:
+        raise PersistenceError(
+            "crash-test child failed unexpectedly (rc %d): %s"
+            % (child.returncode, child.stderr.decode("utf-8", "replace")[-2000:])
+        )
+    target, report = recover(spec["directory"])
+    clean = run_clean(spec, upto=report.last_seq)
+    total = sum(1 for _ in iter_delta_trees(spec))
+    return CrashOutcome(
+        spec=spec,
+        returncode=child.returncode,
+        killed=killed,
+        report=report,
+        applied_records=report.last_seq,
+        total_records=total,
+        bit_identical=clean.to_bytes() == target.to_bytes(),
+    )
+
+
+def _child_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.durability.crashtest '<json-spec>'", file=sys.stderr)
+        return 2
+    run_child(json.loads(argv[0]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,392 @@
+"""The durable log: checksummed record framing over fsync'd segment files.
+
+A :class:`DurableLog` owns one directory.  Inside it live:
+
+``wal-<first-seq>.seg``
+    Append-only segments of framed records.  The live segment is the
+    highest-numbered one; older segments are sealed (never written
+    again).  Each record is::
+
+        +-------+------+---------+-------------+-------+-----------+
+        | magic | kind |   seq   | payload len | crc32 |  payload  |
+        | RPWL  | u8   |   u64   |     u64     |  u32  |  (bytes)  |
+        +-------+------+---------+-------------+-------+-----------+
+
+    all little-endian, with the CRC covering ``kind || seq || payload``
+    so a frame cannot be validly re-stitched from two torn writes.
+``snap-<seq>.ckpt``
+    A single snapshot record (same framing) written via the atomic
+    tmp-file → fsync → rename discipline, so a snapshot either exists
+    completely or not at all.
+``LOCK``
+    The advisory-lock file.  Opening a :class:`DurableLog` takes an
+    exclusive ``flock`` on it; a second opener — same process or not —
+    fails fast with :class:`~repro.exceptions.PersistenceError` instead
+    of interleaving segments with the first.
+
+The log layer knows nothing about sketches: it moves ``(kind, seq,
+payload)`` triples to disk durably and reads them back, classifying any
+damage it finds (:class:`SegmentScan`).  Interpreting payloads and
+deciding what damage *means* is the checkpoint layer's job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+try:  # POSIX-only; the lock degrades to a no-op elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+from ..exceptions import PersistenceError
+
+__all__ = [
+    "DurableLog",
+    "LogRecord",
+    "SegmentScan",
+    "RECORD_KIND_SNAPSHOT",
+    "RECORD_KIND_DELTA",
+    "RECORD_KIND_META",
+]
+
+RECORD_MAGIC = b"RPWL"
+_HEADER = struct.Struct("<4sBQQI")  # magic, kind, seq, payload length, crc32
+
+#: Record kinds.  The log layer treats them as opaque; the constants live
+#: here so every layer agrees on the byte values.
+RECORD_KIND_SNAPSHOT = 0x01
+RECORD_KIND_DELTA = 0x02
+RECORD_KIND_META = 0x03
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{20})\.seg$")
+_SNAPSHOT_RE = re.compile(r"^snap-(\d{20})\.ckpt$")
+LOCK_FILENAME = "LOCK"
+
+
+def _segment_name(first_seq: int) -> str:
+    return "wal-%020d.seg" % first_seq
+
+
+def _snapshot_name(seq: int) -> str:
+    return "snap-%020d.ckpt" % seq
+
+
+def _crc(kind: int, seq: int, payload: bytes) -> int:
+    head = bytes([kind]) + seq.to_bytes(8, "little")
+    return zlib.crc32(payload, zlib.crc32(head)) & 0xFFFFFFFF
+
+
+def encode_record(kind: int, seq: int, payload: bytes) -> bytes:
+    """Frame one record as bytes (header + payload)."""
+    if not 0 <= kind <= 0xFF:
+        raise PersistenceError("record kind must fit in one byte")
+    if seq < 0:
+        raise PersistenceError("record seq must be non-negative")
+    header = _HEADER.pack(
+        RECORD_MAGIC, kind, seq, len(payload), _crc(kind, seq, payload)
+    )
+    return header + payload
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One decoded record: ``(kind, seq, payload)`` plus its file offset."""
+
+    kind: int
+    seq: int
+    payload: bytes
+    offset: int
+
+
+@dataclass
+class SegmentScan:
+    """Outcome of reading one segment file front to back.
+
+    ``records`` holds every record whose frame and checksum verified, in
+    file order.  If the file ended mid-record, ``fault`` is ``"torn"``;
+    if a complete frame failed its magic or checksum, ``fault`` is
+    ``"corrupt"``.  Either way ``good_bytes`` is the offset of the first
+    byte that did not verify — everything before it is trustworthy,
+    everything from it on is not (a bad frame header destroys the
+    framing, so no later record in the same file can be trusted).
+    """
+
+    path: str
+    records: List[LogRecord] = field(default_factory=list)
+    fault: Optional[str] = None  # None | "torn" | "corrupt"
+    good_bytes: int = 0
+    detail: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return self.fault is None
+
+
+def scan_segment(path: str) -> SegmentScan:
+    """Read and verify every record in ``path``, stopping at damage."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    scan = SegmentScan(path=path)
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _HEADER.size:
+            scan.fault = "torn"
+            scan.detail = "partial header (%d bytes)" % (total - offset)
+            break
+        magic, kind, seq, length, crc = _HEADER.unpack_from(data, offset)
+        if magic != RECORD_MAGIC:
+            scan.fault = "corrupt"
+            scan.detail = "bad record magic at offset %d" % offset
+            break
+        end = offset + _HEADER.size + length
+        if end > total:
+            scan.fault = "torn"
+            scan.detail = "payload truncated at offset %d" % offset
+            break
+        payload = data[offset + _HEADER.size : end]
+        if _crc(kind, seq, payload) != crc:
+            scan.fault = "corrupt"
+            scan.detail = "checksum mismatch at offset %d (seq %d)" % (offset, seq)
+            break
+        scan.records.append(LogRecord(kind, seq, bytes(payload), offset))
+        offset = end
+    scan.good_bytes = offset if scan.fault else total
+    return scan
+
+
+class DurableLog:
+    """Single-writer durable record log over one directory.
+
+    All appends go to the live segment with ``write → flush → fsync``;
+    :meth:`write_snapshot` and :meth:`rotate` use atomic whole-file
+    renames so those files are never observable half-written.  The
+    constructor takes the directory's exclusive advisory lock and holds
+    it until :meth:`close`.
+    """
+
+    def __init__(self, directory: str, sync: bool = True) -> None:
+        self.directory = os.path.abspath(directory)
+        self.sync = sync
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock_handle = self._acquire_lock()
+        self._segment_handle = None  # type: Optional[object]
+        self._segment_path: Optional[str] = None
+        self._bytes_appended = 0
+        #: Test/crash-harness hook: called as ``hook(log)`` after every
+        #: fsync'd append, with the record already durable on disk.
+        self.after_append: Optional[Callable[["DurableLog"], None]] = None
+
+    # -- locking ------------------------------------------------------------
+
+    def _acquire_lock(self):
+        lock_path = os.path.join(self.directory, LOCK_FILENAME)
+        handle = open(lock_path, "a+b")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as error:
+                handle.close()
+                raise PersistenceError(
+                    "durable log directory %r is already locked by another "
+                    "writer; a DurableLog allows exactly one writer at a time "
+                    "(close the other Checkpointer/DurableLog first)"
+                    % self.directory
+                ) from error
+        return handle
+
+    @property
+    def closed(self) -> bool:
+        return self._lock_handle is None
+
+    def close(self) -> None:
+        """Seal the live segment and release the directory lock."""
+        if self._segment_handle is not None:
+            self._segment_handle.flush()
+            if self.sync:
+                os.fsync(self._segment_handle.fileno())
+            self._segment_handle.close()
+            self._segment_handle = None
+            self._segment_path = None
+        if self._lock_handle is not None:
+            if fcntl is not None:
+                fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
+            self._lock_handle.close()
+            self._lock_handle = None
+
+    def __enter__(self) -> "DurableLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise PersistenceError("durable log %r is closed" % self.directory)
+
+    # -- directory listing --------------------------------------------------
+
+    def segment_paths(self) -> List[Tuple[int, str]]:
+        """Sorted ``(first_seq, path)`` for every segment file present."""
+        return self._listing(_SEGMENT_RE)
+
+    def snapshot_paths(self) -> List[Tuple[int, str]]:
+        """Sorted ``(seq, path)`` for every snapshot file present."""
+        return self._listing(_SNAPSHOT_RE)
+
+    def _listing(self, pattern: "re.Pattern[str]") -> List[Tuple[int, str]]:
+        found = []
+        for name in os.listdir(self.directory):
+            match = pattern.match(name)
+            if match:
+                found.append((int(match.group(1)), os.path.join(self.directory, name)))
+        found.sort()
+        return found
+
+    def _fsync_directory(self) -> None:
+        if not self.sync:
+            return
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- writing ------------------------------------------------------------
+
+    @property
+    def bytes_appended(self) -> int:
+        """Total framed bytes appended through this instance."""
+        return self._bytes_appended
+
+    @property
+    def live_segment(self) -> Optional[str]:
+        return self._segment_path
+
+    def open_segment(self, first_seq: int) -> str:
+        """Seal the live segment (if any) and start a fresh one."""
+        self._check_open()
+        if self._segment_handle is not None:
+            self._segment_handle.flush()
+            if self.sync:
+                os.fsync(self._segment_handle.fileno())
+            self._segment_handle.close()
+        path = os.path.join(self.directory, _segment_name(first_seq))
+        if os.path.exists(path):
+            raise PersistenceError("segment %r already exists" % path)
+        self._segment_handle = open(path, "ab")
+        self._segment_path = path
+        self._fsync_directory()
+        return path
+
+    def resume_segment(self, path: str) -> None:
+        """Continue appending to an existing (verified) segment file."""
+        self._check_open()
+        if self._segment_handle is not None:
+            raise PersistenceError("a live segment is already open")
+        self._segment_handle = open(path, "ab")
+        self._segment_path = path
+
+    def append(self, kind: int, seq: int, payload: bytes) -> int:
+        """Durably append one record to the live segment; returns its size."""
+        self._check_open()
+        if self._segment_handle is None:
+            raise PersistenceError(
+                "no live segment; call open_segment() before append()"
+            )
+        frame = encode_record(kind, seq, payload)
+        self._segment_handle.write(frame)
+        self._segment_handle.flush()
+        if self.sync:
+            os.fsync(self._segment_handle.fileno())
+        self._bytes_appended += len(frame)
+        if self.after_append is not None:
+            self.after_append(self)
+        return len(frame)
+
+    def write_snapshot(self, seq: int, payload: bytes) -> str:
+        """Atomically write a snapshot file containing one framed record."""
+        self._check_open()
+        path = os.path.join(self.directory, _snapshot_name(seq))
+        self._write_atomic(path, encode_record(RECORD_KIND_SNAPSHOT, seq, payload))
+        return path
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+        os.rename(tmp_path, path)
+        self._fsync_directory()
+
+    # -- damage handling ----------------------------------------------------
+
+    def quarantine_tail(self, scan: SegmentScan) -> Optional[str]:
+        """Move a segment's unverifiable tail aside and truncate it away.
+
+        The bytes from ``scan.good_bytes`` onward are copied to a
+        ``*.quarantine-<offset>`` sibling (preserved for post-mortems),
+        then the segment is truncated back to its last verified record.
+        Returns the quarantine path, or ``None`` if the scan was clean.
+        """
+        self._check_open()
+        if scan.clean:
+            return None
+        if self._segment_path == scan.path:
+            raise PersistenceError("cannot quarantine the live segment")
+        quarantine_path = "%s.quarantine-%d" % (scan.path, scan.good_bytes)
+        with open(scan.path, "rb") as handle:
+            handle.seek(scan.good_bytes)
+            tail = handle.read()
+        self._write_atomic(quarantine_path, tail)
+        with open(scan.path, "r+b") as handle:
+            handle.truncate(scan.good_bytes)
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+        return quarantine_path
+
+    def quarantine_file(self, path: str) -> str:
+        """Move a whole untrustworthy file aside (post-damage segments)."""
+        self._check_open()
+        if self._segment_path == path:
+            raise PersistenceError("cannot quarantine the live segment")
+        quarantine_path = path + ".quarantine"
+        os.rename(path, quarantine_path)
+        self._fsync_directory()
+        return quarantine_path
+
+    def remove(self, path: str) -> None:
+        """Delete a superseded segment or snapshot file durably."""
+        self._check_open()
+        if self._segment_path == path:
+            raise PersistenceError("cannot remove the live segment")
+        os.unlink(path)
+        self._fsync_directory()
+
+    def destroy(self) -> None:
+        """Delete every log artifact and release the directory.
+
+        Used by callers whose log is a *spool* (scratch durability for
+        one run) rather than an archive: after a successful completion
+        the spool must not be mistaken for resumable state.
+        """
+        directory = self.directory
+        self.close()
+        for name in os.listdir(directory):
+            if (
+                _SEGMENT_RE.match(name)
+                or _SNAPSHOT_RE.match(name)
+                or name == LOCK_FILENAME
+                or ".quarantine" in name
+                or name.endswith(".tmp")
+            ):
+                os.unlink(os.path.join(directory, name))

@@ -67,6 +67,18 @@ class WorkerFailureError(ReproError, RuntimeError):
     """
 
 
+class PersistenceError(ReproError, RuntimeError):
+    """The durable-log subsystem could not provide its guarantees.
+
+    Raised when a :class:`repro.durability.DurableLog` directory is already
+    held by another writer (single-writer advisory lock), when no usable
+    snapshot survives in a directory being recovered, or when a durable
+    result spool does not match the plan being resumed.  Note that *damaged
+    data* (torn tails, checksum failures) does **not** raise — recovery
+    quarantines it and reports through ``RecoveryReport`` instead.
+    """
+
+
 class SerializationError(ReproError, ValueError):
     """A sketch could not be serialized or deserialized.
 

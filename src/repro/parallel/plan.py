@@ -57,13 +57,14 @@ at once:
 
 from __future__ import annotations
 
+import hashlib
 from concurrent.futures import BrokenExecutor, Executor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .. import serialize
 from ..estimators.base import CardinalityEstimator, TurnstileEstimator
-from ..exceptions import ParameterError, WorkerFailureError
+from ..exceptions import ParameterError, PersistenceError, WorkerFailureError
 from ..vectorize import np
 from .pool import default_workers, get_pool, reset_pool
 from .workers import ShardFault, ingest_shard, _feed_items, _feed_updates
@@ -278,6 +279,92 @@ class _ResultSink:
         assert not self._buffer, "shard results left unapplied"
 
 
+class _ResultSpool:
+    """Durable per-shard result spool: crash insurance for the coordinator.
+
+    Each delivered shard result is appended (fsync'd) to a
+    :class:`~repro.durability.DurableLog` in ``directory`` *before* it is
+    merged, so a coordinator that dies mid-plan can re-run the same plan
+    with the same ``spool_dir`` and re-ingest only the shards that never
+    delivered.  The spool opens with a fingerprint record binding it to
+    the plan (kind, axes, shard count, worker template bytes); resuming
+    with a different plan fails fast rather than merging foreign results.
+    The spool is destroyed on successful completion — finished state must
+    not be mistaken for something resumable.
+    """
+
+    _KIND_META = 0x03  # RECORD_KIND_META
+    _KIND_RESULT = 0x02  # RECORD_KIND_DELTA
+
+    def __init__(self, directory: str, plan: IngestPlan, template: bytes) -> None:
+        from ..durability.log import DurableLog, scan_segment
+
+        fingerprint = hashlib.sha256(
+            serialize.dumps_tree(
+                {
+                    "axis": plan.axis,
+                    "recipe": plan.recipe,
+                    "discipline": plan.discipline,
+                    "kind": plan.kind,
+                    "shards": len(plan.shards),
+                    "batch_size": plan.batch_size,
+                    "meta": list(plan.meta),
+                    "template": template,
+                }
+            )
+        ).hexdigest()
+        self._log = DurableLog(directory)
+        self.recovered: Dict[int, Any] = {}
+        self._seq = 0
+        segments = self._log.segment_paths()
+        if segments:
+            first_scan = scan_segment(segments[0][1])
+            head = first_scan.records[0] if first_scan.records else None
+            if (
+                head is None
+                or head.kind != self._KIND_META
+                or serialize.loads_tree(head.payload).get("fingerprint") != fingerprint
+            ):
+                self._log.close()
+                raise PersistenceError(
+                    "result spool %r does not match this plan (different "
+                    "plan shape, shard count, or worker template); clear "
+                    "the directory or use a fresh spool_dir" % directory
+                )
+            for _, path in segments:
+                scan = scan_segment(path)
+                for record in scan.records:
+                    self._seq = max(self._seq, record.seq)
+                    if record.kind != self._KIND_RESULT:
+                        continue
+                    tree = serialize.loads_tree(record.payload)
+                    self.recovered[int(tree["index"])] = tree["result"]
+            # Never append after unverified bytes: resume in a new segment.
+            self._log.open_segment(self._seq + 1)
+        else:
+            self._log.open_segment(1)
+            self._seq = 1
+            self._log.append(
+                self._KIND_META,
+                self._seq,
+                serialize.dumps_tree({"fingerprint": fingerprint}),
+            )
+
+    def record(self, index: int, result) -> None:
+        self._seq += 1
+        self._log.append(
+            self._KIND_RESULT,
+            self._seq,
+            serialize.dumps_tree({"index": index, "result": result}),
+        )
+
+    def close(self) -> None:
+        self._log.close()
+
+    def destroy(self) -> None:
+        self._log.destroy()
+
+
 def _payload(plan: IngestPlan, template: bytes, shard, index: int,
              attempt: int, inline: bool) -> Tuple:
     spec = None if plan.fault is None else plan.fault.get(index)
@@ -285,9 +372,20 @@ def _payload(plan: IngestPlan, template: bytes, shard, index: int,
     return (plan.kind, template, shard, plan.batch_size, plan.meta, fault, inline)
 
 
-def _run_inline(plan: IngestPlan, target, work: List[Any], template: bytes) -> None:
+def _run_inline(
+    plan: IngestPlan,
+    target,
+    work: List[Any],
+    template: bytes,
+    spool: Optional[_ResultSpool] = None,
+) -> None:
     sink = _ResultSink(plan, target, barrier=False)
+    done = {} if spool is None else spool.recovered
+    for index in sorted(done):
+        sink.add(index, done[index])
     for index, shard in enumerate(work):
+        if index in done:
+            continue
         attempt = 0
         while True:
             try:
@@ -302,6 +400,8 @@ def _run_inline(plan: IngestPlan, target, work: List[Any], template: bytes) -> N
                         "shard %d failed %d time(s), exhausting its retry "
                         "budget of %d" % (index, attempt, plan.retries)
                     ) from error
+        if spool is not None:
+            spool.record(index, result)
         sink.add(index, result)
     sink.finish()
 
@@ -315,11 +415,15 @@ def _run_pooled(
     barrier: bool,
     owns_pool: bool,
     workers: Optional[int],
+    spool: Optional[_ResultSpool] = None,
 ) -> None:
     """Fan shards out with pipelined (or barrier) handoff and shard retry."""
     sink = _ResultSink(plan, target, barrier=barrier)
+    done = {} if spool is None else spool.recovered
+    for index in sorted(done):
+        sink.add(index, done[index])
     attempts = [0] * len(work)
-    pending = list(range(len(work)))
+    pending = [index for index in range(len(work)) if index not in done]
     last_error: Optional[BaseException] = None
     while pending:
         futures = {}
@@ -353,6 +457,8 @@ def _run_pooled(
                 if isinstance(error, BrokenExecutor):
                     broken = True
                 continue
+            if spool is not None:
+                spool.record(index, result)
             sink.add(index, result)
         exhausted = [index for index in failed if attempts[index] > plan.retries]
         if exhausted:
@@ -379,6 +485,7 @@ def execute_plan(
     execution: Optional[str] = None,
     executor: Optional[Executor] = None,
     handoff: Optional[str] = None,
+    spool_dir: Optional[str] = None,
 ):
     """Execute an ingestion plan against ``target`` (mutated in place).
 
@@ -401,6 +508,15 @@ def execute_plan(
             here) and ``workers``/``execution`` are ignored when given.
         handoff: ``"pipelined"`` (default — merge shard states as they
             complete) or ``"barrier"`` (legacy collect-all-then-merge).
+        spool_dir: optional directory for a durable per-shard result
+            spool.  Every delivered shard result is fsync'd there before
+            being merged; re-running the same plan with the same
+            ``spool_dir`` after a coordinator crash submits only the
+            shards that never delivered, merging the spooled results for
+            the rest (bit-identical to an uninterrupted run).  The spool
+            is deleted when the plan completes.  Requires a mergeable
+            target even for single-shard plans (the direct-feed shortcut
+            would bypass the spooled transport).
 
     Returns:
         ``target``, for chaining.
@@ -412,7 +528,7 @@ def execute_plan(
     work = [shard for shard in plan.shards if _shard_size(plan.kind, shard) > 0]
     if not work:
         return target
-    if len(work) == 1 and plan.fault is None:
+    if len(work) == 1 and plan.fault is None and spool_dir is None:
         _feed_direct(plan, target, work[0])
         return target
     if plan.axis == "range":
@@ -424,23 +540,33 @@ def execute_plan(
         _require_explicit_seed(target)
 
     template = _template_for(plan, target)
-    if executor is not None:
-        _run_pooled(plan, target, work, template, executor, handoff == "barrier",
-                    owns_pool=False, workers=None)
-        return target
-    if workers is None:
-        workers = default_workers()
-    if workers <= 0:
-        raise ParameterError("workers must be positive")
-    workers = min(workers, len(work))
-    if execution is None:
-        execution = "processes" if workers > 1 else "inline"
-    if execution not in ("processes", "inline"):
-        raise ParameterError("execution must be 'processes' or 'inline'")
-    if execution == "inline":
-        _run_inline(plan, target, work, template)
-        return target
-    pool = get_pool(workers)
-    _run_pooled(plan, target, work, template, pool, handoff == "barrier",
-                owns_pool=True, workers=workers)
+    spool = None if spool_dir is None else _ResultSpool(spool_dir, plan, template)
+    try:
+        if executor is not None:
+            _run_pooled(plan, target, work, template, executor,
+                        handoff == "barrier", owns_pool=False, workers=None,
+                        spool=spool)
+        else:
+            if workers is None:
+                workers = default_workers()
+            if workers <= 0:
+                raise ParameterError("workers must be positive")
+            workers = min(workers, len(work))
+            if execution is None:
+                execution = "processes" if workers > 1 else "inline"
+            if execution not in ("processes", "inline"):
+                raise ParameterError("execution must be 'processes' or 'inline'")
+            if execution == "inline":
+                _run_inline(plan, target, work, template, spool=spool)
+            else:
+                pool = get_pool(workers)
+                _run_pooled(plan, target, work, template, pool,
+                            handoff == "barrier", owns_pool=True,
+                            workers=workers, spool=spool)
+    except BaseException:
+        if spool is not None:
+            spool.close()  # keep the delivered results for the re-run
+        raise
+    if spool is not None:
+        spool.destroy()
     return target

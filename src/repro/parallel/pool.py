@@ -36,6 +36,7 @@ shared pool.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import tempfile
@@ -78,6 +79,7 @@ _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_SIZE = 0
 _POOL_PID: Optional[int] = None
 _POOLS_CREATED = 0  # lifetime creation count, observable via pool_stats()
+_POOL_RESTARTS = 0  # live pools replaced/discarded (recovery + growth), ditto
 
 
 def _drop_pool_reference() -> None:
@@ -108,7 +110,7 @@ def get_pool(workers: Optional[int] = None) -> ProcessPoolExecutor:
         The live executor.  Callers must *not* shut it down; use
         :func:`shutdown_pool` for explicit teardown.
     """
-    global _POOL, _POOL_SIZE, _POOL_PID, _POOLS_CREATED
+    global _POOL, _POOL_SIZE, _POOL_PID, _POOLS_CREATED, _POOL_RESTARTS
     want = default_workers() if workers is None else int(workers)
     if want <= 0:
         raise ParameterError("workers must be positive")
@@ -124,6 +126,7 @@ def get_pool(workers: Optional[int] = None) -> ProcessPoolExecutor:
             _POOL_PID = os.getpid()
             _POOLS_CREATED += 1
             if old is not None:
+                _POOL_RESTARTS += 1
                 old.shutdown(wait=False, cancel_futures=True)
         return _POOL
 
@@ -136,10 +139,12 @@ def reset_pool() -> None:
     executor calls this, then resubmits only the shards that had not
     completed.  Also usable after heavy one-off work to release workers.
     """
-    global _POOL
+    global _POOL, _POOL_RESTARTS
     with _LOCK:
         pool, pid = _POOL, _POOL_PID
         _drop_pool_reference()
+        if pool is not None and pid == os.getpid():
+            _POOL_RESTARTS += 1
     if pool is not None and pid == os.getpid():
         pool.shutdown(wait=False, cancel_futures=True)
 
@@ -165,14 +170,33 @@ def pool_stats() -> Dict[str, Any]:
     ``alive`` — whether a pool currently exists; ``size`` — its worker
     count; ``created`` — how many pools this process has built over its
     lifetime (warm reuse keeps this flat; tests and the warm-vs-cold
-    benchmark read it to prove calls share one pool).
+    benchmark read it to prove calls share one pool); ``restarts`` — how
+    many *live* pools were discarded and replaced (broken-pool recovery
+    via :func:`reset_pool`, or growth past the current size), which the
+    durability/recovery tests assert on to prove a SIGKILL'd worker cost
+    exactly one pool rebuild.
     """
     with _LOCK:
         return {
             "alive": _POOL is not None,
             "size": _POOL_SIZE,
             "created": _POOLS_CREATED,
+            "restarts": _POOL_RESTARTS,
         }
+
+
+@atexit.register
+def _shutdown_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    """Release the persistent pool's workers at interpreter shutdown.
+
+    Without this, a process that used the pool but never called
+    :func:`shutdown_pool` leaks its worker processes into the
+    ``concurrent.futures`` exit machinery with tasks still queued.
+    Registered after ``concurrent.futures`` is imported, so (atexit
+    being LIFO) it runs *before* that module's own exit hook joins the
+    worker threads.
+    """
+    shutdown_pool(wait=False)
 
 
 # ---------------------------------------------------------------------------

@@ -53,6 +53,8 @@ __all__ = [
     "restore",
     "dumps",
     "loads",
+    "dumps_tree",
+    "loads_tree",
     "FORMAT_MAGIC",
     "FORMAT_VERSION",
 ]
@@ -226,6 +228,34 @@ def _resolve_class(path: str) -> type:
     return target
 
 
+# A damaged payload must surface as SerializationError, never as whatever
+# low-level exception the damage happens to trip first.  The decode entry
+# points funnel through this guard; SerializationError itself passes
+# through untouched (it is a ValueError subclass, so it must be re-raised
+# before the blanket ValueError arm).
+_DECODE_ERRORS = (
+    KeyError,
+    IndexError,
+    TypeError,
+    ValueError,
+    AttributeError,
+    OverflowError,
+    MemoryError,
+    struct.error,
+)
+
+
+def _guarded(fn, *args):
+    try:
+        return fn(*args)
+    except SerializationError:
+        raise
+    except _DECODE_ERRORS as error:
+        raise SerializationError(
+            "malformed payload: %s: %s" % (type(error).__name__, error)
+        ) from error
+
+
 class _Rebuilder:
     """One rebuild pass; mirrors the memo discipline of :class:`_Snapshotter`."""
 
@@ -241,9 +271,14 @@ class _Rebuilder:
             if "__tuple__" in node:
                 return tuple(self.decode(entry) for entry in node["__tuple__"])
             if "__map__" in node:
+                entries = node["__map__"]
+                if not isinstance(entries, list) or any(
+                    not isinstance(pair, (list, tuple)) or len(pair) != 2
+                    for pair in entries
+                ):
+                    raise SerializationError("malformed __map__ node")
                 return {
-                    self.decode(key): self.decode(entry)
-                    for key, entry in node["__map__"]
+                    self.decode(key): self.decode(entry) for key, entry in entries
                 }
             if "__set__" in node:
                 return {self.decode(entry) for entry in node["__set__"]}
@@ -253,11 +288,17 @@ class _Rebuilder:
                 return bytearray(node["__bytearray__"])
             if "__ndarray__" in node:
                 spec = node["__ndarray__"]
+                if not isinstance(spec, dict) or "dtype" not in spec or "shape" not in spec:
+                    raise SerializationError("malformed __ndarray__ node")
                 if spec["dtype"] == "object":
+                    if "items" not in spec or not isinstance(spec["items"], list):
+                        raise SerializationError("malformed object-dtype __ndarray__ node")
                     array = np.empty(len(spec["items"]), dtype=object)
                     for index, entry in enumerate(spec["items"]):
                         array[index] = self.decode(entry)
                     return array.reshape(spec["shape"])
+                if "data" not in spec or not isinstance(spec["data"], bytes):
+                    raise SerializationError("__ndarray__ node is missing its buffer")
                 return np.frombuffer(
                     spec["data"], dtype=np.dtype(spec["dtype"])
                 ).reshape(spec["shape"]).copy()
@@ -285,6 +326,10 @@ class _Rebuilder:
                 )
                 return rng
             if "__object__" in node:
+                if not isinstance(node.get("__object__"), str):
+                    raise SerializationError("malformed __object__ node")
+                if "__id__" not in node or not isinstance(node.get("__state__"), dict):
+                    raise SerializationError("object node is missing __id__/__state__")
                 klass = _resolve_class(node["__object__"])
                 instance = klass.__new__(klass)
                 self._memo[node["__id__"]] = instance
@@ -328,14 +373,14 @@ def restore(instance: Any, state: Dict[str, Any]) -> None:
     """
     if not (isinstance(state, dict) and "__object__" in state):
         raise SerializationError("restore() expects a snapshot produced by snapshot()")
-    _Rebuilder().rebuild_into(instance, state)
+    _guarded(_Rebuilder().rebuild_into, instance, state)
 
 
 def revive(state: Dict[str, Any]) -> Any:
     """Construct a fresh object from a :func:`snapshot` tree."""
     if not (isinstance(state, dict) and "__object__" in state):
         raise SerializationError("revive() expects a snapshot produced by snapshot()")
-    return _Rebuilder().decode(state)
+    return _guarded(_Rebuilder().decode, state)
 
 
 # ---------------------------------------------------------------------------
@@ -448,20 +493,35 @@ class _Reader:
         if tag == _TAG_FLOAT:
             return struct.unpack("<d", self._take(8))[0]
         if tag == _TAG_STR:
-            return self._take(self.read_varint()).decode("utf-8")
+            try:
+                return self._take(self.read_varint()).decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise SerializationError("malformed utf-8 string in payload") from error
         if tag == _TAG_BYTES:
             return bytes(self._take(self.read_varint()))
         if tag == _TAG_LIST:
-            return [self.read_tree() for _ in range(self.read_varint())]
+            return [self.read_tree() for _ in range(self._read_count())]
         if tag == _TAG_DICT:
             result: Dict[str, Any] = {}
-            for _ in range(self.read_varint()):
+            for _ in range(self._read_count()):
                 key = self.read_tree()
                 if not isinstance(key, str):
                     raise SerializationError("snapshot tree keys must be strings")
                 result[key] = self.read_tree()
             return result
         raise SerializationError("unknown tag 0x%02x in payload" % tag)
+
+    def _read_count(self) -> int:
+        """Read an element count, bounded by the bytes actually left.
+
+        Every encoded element occupies at least one byte, so a count
+        exceeding the remaining payload proves corruption immediately —
+        without first looping until a truncation error fires.
+        """
+        count = self.read_varint()
+        if count > len(self._data) - self._offset:
+            raise SerializationError("element count exceeds remaining payload")
+        return count
 
     def finished(self) -> bool:
         return self._offset == len(self._data)
@@ -495,7 +555,7 @@ def dumps_tree(value: Any) -> bytes:
     return bytes(out)
 
 
-def decode_frame(data: bytes) -> Dict[str, Any]:
+def decode_frame(data: bytes, require_object: bool = True) -> Any:
     """Validate the framing of ``data`` and return the snapshot tree."""
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise SerializationError("from_bytes expects a bytes-like payload")
@@ -509,10 +569,10 @@ def decode_frame(data: bytes) -> Dict[str, Any]:
             % (version, FORMAT_VERSION)
         )
     reader = _Reader(data, len(FORMAT_MAGIC) + 1)
-    tree = reader.read_tree()
+    tree = _guarded(reader.read_tree)
     if not reader.finished():
         raise SerializationError("trailing bytes after payload")
-    if not (isinstance(tree, dict) and "__object__" in tree):
+    if require_object and not (isinstance(tree, dict) and "__object__" in tree):
         raise SerializationError("payload does not contain an object snapshot")
     return tree
 
@@ -520,3 +580,15 @@ def decode_frame(data: bytes) -> Dict[str, Any]:
 def loads(data: bytes) -> Any:
     """Revive the object serialized by :func:`dumps`."""
     return revive(decode_frame(data))
+
+
+def loads_tree(data: bytes) -> Any:
+    """Decode a value tree serialized by :func:`dumps_tree`.
+
+    The inverse of :func:`dumps_tree`: the top-level value may be any
+    supported tree (dict, list, scalar, NumPy array), not necessarily a
+    library-object snapshot.  Library objects nested inside the tree are
+    revived exactly as :func:`loads` would revive them.
+    """
+    tree = decode_frame(data, require_object=False)
+    return _guarded(_Rebuilder().decode, tree)

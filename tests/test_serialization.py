@@ -254,3 +254,58 @@ def test_round_trip_through_random_stream_positions():
         cursor += take
     assert resumed.state_dict() == reference.state_dict()
     assert resumed.estimate() == reference.estimate()
+
+
+# ---------------------------------------------------------------------------
+# Adversarial decoding: corrupted or truncated frames must fail *closed*.
+# ---------------------------------------------------------------------------
+
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_FUZZ_UNIVERSE = 1 << 10
+_FUZZ_FAMILIES = [("f0", name) for name in f0_algorithm_names()] + [
+    ("l0", name) for name in l0_algorithm_names()
+]
+
+
+@lru_cache(maxsize=None)
+def _fuzz_blob(kind, name):
+    """One small ingested sketch per registry family, encoded once."""
+    if kind == "f0":
+        estimator = make_f0_estimator(name, _FUZZ_UNIVERSE, 0.25, seed=61)
+        items = np.random.RandomState(63).randint(0, _FUZZ_UNIVERSE, size=200)
+        estimator.update_batch(items.astype(np.uint64))
+    else:
+        estimator = make_l0_estimator(name, _FUZZ_UNIVERSE, 0.25, 1 << 8, seed=61)
+        items = np.random.RandomState(65).randint(0, _FUZZ_UNIVERSE, size=150)
+        estimator.update_batch(items.astype(np.uint64), [1] * len(items))
+    return estimator.to_bytes()
+
+
+@pytest.mark.parametrize("kind,name", _FUZZ_FAMILIES)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_mutated_frames_decode_or_raise_serialization_error(kind, name, data):
+    """Byte-flip and truncation fuzzing over every registry family.
+
+    The decoder's contract is all-or-nothing: any mutation of a valid
+    frame either still decodes (a flip that the checksum happens to
+    tolerate is acceptable) or raises exactly ``SerializationError`` —
+    never ``KeyError``/``ValueError``/``struct.error``/recursion blowups
+    from half-parsed trees.
+    """
+    blob = bytearray(_fuzz_blob(kind, name))
+    mode = data.draw(st.sampled_from(("flip", "truncate", "both")))
+    if mode in ("flip", "both"):
+        for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+            position = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+            blob[position] ^= 1 << data.draw(st.integers(min_value=0, max_value=7))
+    if mode in ("truncate", "both"):
+        blob = blob[: data.draw(st.integers(min_value=0, max_value=max(0, len(blob) - 1)))]
+    try:
+        loads(bytes(blob))
+    except SerializationError:
+        pass
