@@ -24,6 +24,7 @@ from repro.baselines.hyperloglog import HyperLogLogCounter
 from repro.baselines.kmv import KMinimumValues
 from repro.core.knw import KNWDistinctCounter
 from repro.estimators.registry import make_f0_estimator
+from repro.kernels import get_backend, kernel_backend_info
 
 #: Stream length for the headline throughput numbers.
 STREAM_LENGTH = 1_000_000
@@ -101,7 +102,12 @@ def test_batch_throughput_table(benchmark):
     record(
         "batch_throughput",
         metrics,
-        scale={"universe": BENCH_UNIVERSE, "items": STREAM_LENGTH},
+        scale={
+            "universe": BENCH_UNIVERSE,
+            "items": STREAM_LENGTH,
+            "kernel_backend": get_backend(),
+        },
+        environment={"kernels": kernel_backend_info()},
     )
     for name, floor in GATED.items():
         assert rows[name][2] >= floor, (

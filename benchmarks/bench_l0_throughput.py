@@ -27,6 +27,7 @@ import numpy as np
 from conftest import BENCH_UNIVERSE, emit, run_once, metric, record
 
 from repro.estimators.registry import make_l0_estimator
+from repro.kernels import get_backend, kernel_backend_info
 
 #: Full-scale default; override via the environment for smoke runs.
 STREAM_LENGTH = int(os.environ.get("BENCH_L0_ITEMS", 1_000_000))
@@ -132,7 +133,12 @@ def test_l0_batch_throughput_table(benchmark):
             batch, "higher", "rate", "updates/s"
         )
         metrics["%s_batch_speedup" % name] = metric(speedup, "higher", "ratio")
-    record("l0_throughput", metrics, scale={"updates": STREAM_LENGTH})
+    record(
+        "l0_throughput",
+        metrics,
+        scale={"updates": STREAM_LENGTH, "kernel_backend": get_backend()},
+        environment={"kernels": kernel_backend_info()},
+    )
     if STREAM_LENGTH < GATE_SCALE:
         emit(
             "E-L0-batch gate",

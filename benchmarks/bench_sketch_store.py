@@ -40,6 +40,7 @@ import time
 import numpy as np
 from conftest import BENCH_UNIVERSE, emit, metric, record, run_once
 
+from repro.kernels import get_backend, kernel_backend_info
 from repro.store import SketchStore, make_sketch_array
 
 #: Full-scale defaults; override via the environment for smoke runs.
@@ -195,7 +196,12 @@ def test_sketch_store_throughput_table(benchmark):
     record(
         "sketch_store",
         metrics,
-        scale={"keys": KEY_COUNT, "updates": STREAM_LENGTH},
+        scale={
+            "keys": KEY_COUNT,
+            "updates": STREAM_LENGTH,
+            "kernel_backend": get_backend(),
+        },
+        environment={"kernels": kernel_backend_info()},
     )
     if KEY_COUNT >= GATE_KEYS and STREAM_LENGTH >= GATE_ITEMS:
         for family, required in GATED.items():

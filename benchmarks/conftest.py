@@ -65,7 +65,7 @@ def mean_seconds(benchmark):
     return None if mean is None else float(mean)
 
 
-def record(name, metrics, scale=None):
+def record(name, metrics, scale=None, environment=None):
     """Persist benchmark metrics to ``BENCH_<name>.json`` for ``report.py``.
 
     Args:
@@ -75,7 +75,12 @@ def record(name, metrics, scale=None):
             numbers are accepted and treated as higher-better rates).
             ``None`` values are skipped.
         scale: the workload-size knobs the run used; ``report.py`` only
-            compares runs whose scale dicts match exactly.
+            compares runs whose scale dicts match exactly.  Throughput
+            benches include the active kernel backend here, so numbers
+            from different backends are never compared apples-to-oranges.
+        environment: free-form metadata about the machine/configuration
+            the run used (e.g. ``repro.kernels.kernel_backend_info()``);
+            stored in the payload for trajectory analysis, never gated.
     """
     path = os.path.join(RESULTS_DIR, "BENCH_%s.json" % name)
     payload = None
@@ -91,6 +96,10 @@ def record(name, metrics, scale=None):
         }
     if scale:
         payload["scale"].update({key: scale[key] for key in sorted(scale)})
+    if environment:
+        payload.setdefault("environment", {}).update(
+            {key: environment[key] for key in sorted(environment)}
+        )
     for key, entry in metrics.items():
         if entry is None:
             continue

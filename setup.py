@@ -44,6 +44,9 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # The compiled kernel backend builds its shared library from this
+    # bundled C source at first use (a C toolchain is the only requirement).
+    package_data={"repro.kernels": ["*.c"]},
     # 3.10 floor: the word-RAM code relies on int.bit_count() (3.10+).
     python_requires=">=3.10",
     install_requires=[
@@ -58,6 +61,11 @@ setup(
             "pytest>=7.0",
             "pytest-benchmark>=4.0",
         ],
+        # The compiled kernel backend needs no Python packages — only a C
+        # compiler on PATH (cc/gcc/clang).  The extra exists so
+        # ``pip install ".[compiled]"`` documents the intent; the backend
+        # is built lazily from the bundled _kernels.c at first use.
+        "compiled": [],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

@@ -25,7 +25,7 @@ from ..estimators.base import CardinalityEstimator
 from ..exceptions import MergeError, ParameterError
 from ..hashing.bitops import lsb, lsb_batch
 from ..hashing.universal import PairwiseHash
-from ..vectorize import as_key_array, np
+from ..vectorize import as_key_array, grouped_max_scatter, np
 
 __all__ = ["BJKSTSampler"]
 
@@ -99,8 +99,9 @@ class BJKSTSampler(CardinalityEstimator):
         ``(fingerprint, level)`` pairs — an item dropped early by the
         rising level could never have survived the final level either —
         so the batch path may compute all levels and fingerprints in two
-        hash passes, group the per-fingerprint maximum level with
-        ``np.maximum.at``, fold the result into the sample, and prune
+        hash passes, group the per-fingerprint maximum level with the
+        kernel seam's grouped max scatter, fold the result into the
+        sample, and prune
         once.  The resulting level and sample dict equal the scalar
         loop's exactly.
         """
@@ -118,7 +119,7 @@ class BJKSTSampler(CardinalityEstimator):
         fingerprints = self._fingerprint_hash.hash_batch_validated(keys)
         unique_fps, inverse = np.unique(fingerprints, return_inverse=True)
         level_max = np.full(len(unique_fps), -1, dtype=np.int64)
-        np.maximum.at(level_max, inverse, levels)
+        grouped_max_scatter(level_max, inverse, levels)
         sample = self._sample
         for fingerprint, level in zip(unique_fps.tolist(), level_max.tolist()):
             if level > sample.get(fingerprint, -1):

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..exceptions import ParameterError
-from ..vectorize import HAS_NUMPY, np
+from ..vectorize import HAS_NUMPY, grouped_or_scatter, np
 
 __all__ = ["BitVector"]
 
@@ -92,7 +92,7 @@ class BitVector:
         # the OR-scatter mutates the vector's own storage in place.
         buffer = np.frombuffer(self._bytes, dtype=np.uint8)
         masks = (1 << (positions & np.int64(7))).astype(np.uint8)
-        np.bitwise_or.at(buffer, positions >> np.int64(3), masks)
+        grouped_or_scatter(buffer, positions >> np.int64(3), masks)
         self._ones = int(np.unpackbits(buffer).sum())
 
     def to_numpy(self):

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from ..exceptions import ParameterError
-from ..vectorize import np, require_numpy
+from ..vectorize import grouped_max_scatter, np, require_numpy
 
 __all__ = ["PackedCounterArray"]
 
@@ -96,7 +96,8 @@ class PackedCounterArray:
 
         This is the bulk form of :meth:`maximize` used by the vectorized
         ``update_batch`` paths (HyperLogLog/LogLog registers, RoughEstimator
-        counters): the per-index maxima are reduced with ``np.maximum.at``,
+        counters): the per-index maxima are reduced with
+        :func:`repro.vectorize.grouped_max_scatter`,
         compared against a bulk :meth:`to_numpy` read, and — when anything
         actually grew — the whole buffer is re-packed in one vectorized
         pass instead of one Python big-int rewrite per touched counter.
@@ -116,7 +117,7 @@ class PackedCounterArray:
         if self.width > _WORD_WIDTH_LIMIT:  # pragma: no cover - no current user
             touched, inverse = np.unique(indices, return_inverse=True)
             maxima = np.zeros(len(touched), dtype=np.int64)
-            np.maximum.at(maxima, inverse, np.asarray(values, dtype=np.int64))
+            grouped_max_scatter(maxima, inverse, np.asarray(values, dtype=np.int64))
             for index, value in zip(touched.tolist(), maxima.tolist()):
                 self.maximize(index, value)
             return
@@ -127,7 +128,7 @@ class PackedCounterArray:
             )
         touched, inverse = np.unique(indices, return_inverse=True)
         maxima = np.zeros(len(touched), dtype=np.int64)
-        np.maximum.at(maxima, inverse, np.asarray(values, dtype=np.int64))
+        grouped_max_scatter(maxima, inverse, np.asarray(values, dtype=np.int64))
         current = self.to_numpy()
         changed = maxima > current[touched].astype(np.int64)
         if not changed.any():

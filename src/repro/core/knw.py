@@ -26,7 +26,7 @@ from ..bitstructs.space import SpaceBreakdown
 from ..estimators.base import CardinalityEstimator
 from ..exceptions import MergeError, ParameterError, SketchFailure
 from ..hashing.bitops import ceil_log2, is_power_of_two
-from ..vectorize import as_key_array, np
+from ..vectorize import as_key_array, grouped_max_scatter, np
 from .balls_bins import invert_occupancy
 from .hashes import F0HashBundle
 from .rough_estimator import RoughEstimator
@@ -241,7 +241,7 @@ class KNWFigure3Sketch(CardinalityEstimator):
         relative = levels - np.int64(self._base_level)
         before = np.array(self._counters, dtype=np.int64)
         after = before.copy()
-        np.maximum.at(after, indices, relative)
+        grouped_max_scatter(after, indices, relative)
         changed = np.nonzero(after != before)[0]
         for index in changed.tolist():
             old = int(before[index])

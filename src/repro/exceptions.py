@@ -79,6 +79,20 @@ class PersistenceError(ReproError, RuntimeError):
     """
 
 
+class KernelBackendError(ReproError, RuntimeError):
+    """A kernel backend could not be loaded or was explicitly refused.
+
+    The vectorize layer dispatches its hot kernels through a backend seam
+    (:mod:`repro.kernels`).  Selecting ``REPRO_KERNEL_BACKEND=auto`` (the
+    default) degrades gracefully — a missing C toolchain just falls back
+    to the NumPy reference backend with a one-time warning — but *forcing*
+    a backend that cannot load (``REPRO_KERNEL_BACKEND=compiled`` on a
+    machine without a C compiler, or ``set_backend("compiled")``) raises
+    this exception rather than silently running slower than requested.
+    The message names the missing prerequisite and the knobs to fix it.
+    """
+
+
 class SerializationError(ReproError, ValueError):
     """A sketch could not be serialized or deserialized.
 

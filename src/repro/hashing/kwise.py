@@ -22,7 +22,7 @@ import random
 from typing import List, Optional, Sequence
 
 from ..exceptions import ParameterError
-from ..vectorize import as_key_array, mod_range, mulmod_arrays, np
+from ..vectorize import as_key_array, kwise_mod_range, np
 from .primes import field_prime_for_universe
 
 __all__ = ["KWiseHash", "required_independence"]
@@ -133,10 +133,9 @@ class KWiseHash:
     def hash_batch(self, keys):
         """Evaluate the polynomial on a whole array of keys via Horner's rule.
 
-        ``k`` exact batched modular multiply-adds
-        (:func:`repro.vectorize.mulmod_arrays`) replace ``k`` Python field
-        operations *per item*; the result is bit-identical to the scalar
-        :meth:`__call__`.
+        One fused seam kernel (:func:`repro.vectorize.kwise_mod_range`)
+        replaces ``k`` Python field operations *per item*; the result is
+        bit-identical to the scalar :meth:`__call__`.
 
         Args:
             keys: integer sequence or ndarray with values in
@@ -149,22 +148,15 @@ class KWiseHash:
         return self.hash_batch_validated(keys)
 
     def hash_batch_validated(self, keys):
-        """:meth:`hash_batch` for a key array the caller already validated."""
-        p = self._prime
-        use_words = p < (1 << 63) and keys.dtype != object
-        if use_words:
-            acc = np.full(keys.shape, self._coefficients[-1], dtype=np.uint64)
-        else:
-            keys = keys.astype(object)
-            acc = np.full(keys.shape, self._coefficients[-1], dtype=object)
-        for coefficient in reversed(self._coefficients[:-1]):
-            acc = mulmod_arrays(acc, keys, p, self.universe_size)
-            if acc.dtype == object:
-                acc = (acc + coefficient) % p
-            else:
-                acc = acc + np.uint64(coefficient)
-                np.subtract(acc, np.uint64(p), out=acc, where=acc >= np.uint64(p))
-        return mod_range(acc, self.range_size)
+        """:meth:`hash_batch` for a key array the caller already validated.
+
+        The whole Horner chain is one seam kernel
+        (:func:`repro.vectorize.kwise_mod_range`), so compiled backends
+        fuse all ``k`` field operations into a single pass per key.
+        """
+        return kwise_mod_range(
+            self._coefficients, keys, self._prime, self.universe_size, self.range_size
+        )
 
     def space_bits(self) -> int:
         """Return the number of bits needed to store this function.

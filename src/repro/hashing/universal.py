@@ -27,7 +27,7 @@ import random
 from typing import Optional
 
 from ..exceptions import ParameterError
-from ..vectorize import affine_mod, as_key_array, mod_range, np
+from ..vectorize import affine_mod_range, as_key_array, np
 from .bitops import is_power_of_two
 from .primes import field_prime_for_universe
 
@@ -115,8 +115,9 @@ class PairwiseHash:
         array (an O(n) max-check per hash, several times per chunk on the
         bundle-sharing KNW path).
         """
-        values = affine_mod(self._a, self._b, keys, self._prime, self.universe_size)
-        return mod_range(values, self.range_size)
+        return affine_mod_range(
+            self._a, self._b, keys, self._prime, self.universe_size, self.range_size
+        )
 
     def space_bits(self) -> int:
         """Return the number of bits needed to store this function.

@@ -1,34 +1,34 @@
-"""NumPy substrate for the batch-ingestion pipeline.
+"""NumPy substrate and kernel-dispatch seam for the batch-ingestion pipeline.
 
 Every estimator exposes ``update_batch(items)`` (see
 :class:`repro.estimators.base.CardinalityEstimator`); the vectorized
-overrides all reduce to the same handful of primitives, which live here:
+overrides all reduce to the same handful of primitives, which this module
+exposes:
 
 * converting an arbitrary integer sequence into a validated ``uint64``
-  key array (:func:`as_key_array`);
-* *exact* batched modular arithmetic for the Carter--Wegman families.
-  The field primes chosen by :func:`repro.hashing.primes.field_prime_for_universe`
-  are almost always the Mersenne primes ``2^31 - 1`` / ``2^61 - 1``, for
-  which products can be reduced without ever leaving 64-bit words (split
-  the multiplier into limbs and fold with the identity
-  ``2^b = 1 mod (2^b - 1)``).  Non-Mersenne moduli take a float-quotient
-  Barrett path (exact for ``p < 2^52``) or, as a last resort, NumPy object
-  arrays of Python integers — slower, but still free of per-item Python
-  function-call overhead;
-* the vectorized de Bruijn ``lsb`` used by every rho/level extraction
-  (:func:`lsb64_batch`, mirroring :func:`repro.hashing.bitops.lsb64`).
+  key array (:func:`as_key_array`) and signed deltas into a validated
+  turnstile array (:func:`as_delta_array`) — plain NumPy, no dispatch;
+* the *hot kernels* — exact batched modular arithmetic for the
+  Carter--Wegman families (:func:`mulmod`, :func:`affine_mod`,
+  :func:`mod_range`, and the fused :func:`affine_mod_range` /
+  :func:`kwise_mod_range` chains), the grouped scatter reductions
+  (:func:`grouped_residue_sums`, :func:`grouped_max_scatter`,
+  :func:`grouped_or_scatter`), and the vectorized de Bruijn
+  :func:`lsb64_batch`.
 
-NumPy is an optional dependency at import time: when it is missing,
-``np`` is ``None``, the scalar API keeps working, and the base-class
-loop ``update_batch`` remains available; the vectorized overrides (and
-everything here that needs an ndarray) raise a clear
-:class:`~repro.exceptions.ParameterError` via :func:`require_numpy`
-instead of degrading silently, so a deployment that expected the fast
-path finds out immediately.
+The hot kernels are thin dispatchers: each call routes to the active
+backend in :mod:`repro.kernels` (``REPRO_KERNEL_BACKEND=numpy|compiled|
+auto``, or :func:`repro.kernels.set_backend`).  The NumPy backend
+(:mod:`repro.kernels.numpy_backend`) is the always-available reference;
+the compiled backend fuses each chain into a single C pass.  Backends are
+resolved lazily on the first kernel call — importing this module still
+works without numpy, and never triggers a compile.
 
 All routines here are *exact* — batch ingestion must produce bit-identical
-sketch state to the scalar loop (``tests/test_batch_equivalence.py``), so
-no primitive is allowed to trade correctness for speed.
+sketch state to the scalar loop (``tests/test_batch_equivalence.py``), and
+every backend must produce bit-identical output to the NumPy reference on
+every state word, so no primitive is allowed to trade correctness for
+speed.
 """
 
 from __future__ import annotations
@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from .exceptions import ParameterError
+from . import kernels as _kernels
 
 try:  # pragma: no cover - exercised implicitly by every batch test
     import numpy as np
@@ -53,6 +54,8 @@ __all__ = [
     "mulmod",
     "affine_mod",
     "mod_range",
+    "affine_mod_range",
+    "kwise_mod_range",
     "mulmod_arrays",
     "lsb64_batch",
     "group_slices",
@@ -62,23 +65,20 @@ __all__ = [
 
 HAS_NUMPY = np is not None
 
-_MASK64 = (1 << 64) - 1
-_MERSENNE_EXPONENTS = {(1 << 31) - 1: 31, (1 << 61) - 1: 61}
-
-if HAS_NUMPY:
-    _DEBRUIJN64 = np.uint64(0x03F79D71B4CB0A89)
-    _DEBRUIJN64_TABLE = np.zeros(64, dtype=np.int64)
-    for _i in range(64):
-        _DEBRUIJN64_TABLE[((1 << _i) * 0x03F79D71B4CB0A89 & _MASK64) >> 58] = _i
-
 
 def require_numpy(feature: str) -> None:
     """Raise a clear error when a vectorized path is hit without numpy."""
     if not HAS_NUMPY:
         raise ParameterError(
-            "%s requires numpy; install the package's declared dependencies "
-            "or use the scalar update() API" % feature
+            "%s requires numpy; install it (pip install numpy, or the "
+            "package's declared dependencies: pip install .) or use the "
+            "scalar update() API" % feature
         )
+
+
+# --------------------------------------------------------------------------
+# Batch-input validation (plain NumPy, not backend-dispatched).
+# --------------------------------------------------------------------------
 
 
 def as_key_array(
@@ -223,6 +223,15 @@ def as_delta_array(
     return values
 
 
+def _to_object_array(values: "np.ndarray") -> "np.ndarray":
+    """Convert a numeric ndarray to an object array of Python ints."""
+    if values.dtype == object:
+        return values
+    out = np.empty(values.shape, dtype=object)
+    out[:] = [int(v) for v in values.tolist()]
+    return out
+
+
 def residues_mod(deltas: "np.ndarray", prime: int) -> "np.ndarray":
     """Return ``deltas % prime`` as non-negative residues, exactly.
 
@@ -236,120 +245,14 @@ def residues_mod(deltas: "np.ndarray", prime: int) -> "np.ndarray":
     return (deltas % np.int64(prime)).astype(np.uint64)
 
 
-def grouped_residue_sums(
-    group_index: "np.ndarray",
-    group_count: int,
-    residues: "np.ndarray",
-    prime: int,
-) -> List[int]:
-    """Sum residues per group exactly, returning plain Python ints.
-
-    This is the scatter-accumulate core of the turnstile batch paths: the
-    per-item fingerprint/counter contributions (each already reduced to
-    ``[0, prime)``) are summed per touched cell, and the caller folds one
-    total into each cell with a single exact ``% prime``.  Equivalence
-    with the scalar loop is algebraic: ``(((c + r1) % p) + r2) % p ==
-    (c + r1 + r2) % p``.
-
-    For word-sized residues the sums are accumulated in split 32-bit
-    halves so no intermediate can overflow ``uint64`` (exact for batches
-    up to ``2^32`` updates — far beyond any chunk size the pipeline
-    uses); object-dtype residues take the exact big-int path.
-
-    Args:
-        group_index: ``int64`` array mapping each residue to its group
-            (as produced by ``np.unique(..., return_inverse=True)``).
-        group_count: number of groups.
-        residues: per-item contributions in ``[0, prime)``.
-        prime: the modulus the residues were reduced by.
-    """
-    if residues.dtype == object:
-        sums = np.zeros(group_count, dtype=object)
-        np.add.at(sums, group_index, residues)
-        return [int(total) for total in sums.tolist()]
-    low = np.zeros(group_count, dtype=np.uint64)
-    np.add.at(low, group_index, residues & np.uint64(0xFFFFFFFF))
-    if prime <= (1 << 32):
-        return [int(total) for total in low.tolist()]
-    high = np.zeros(group_count, dtype=np.uint64)
-    np.add.at(high, group_index, residues >> np.uint64(32))
-    return [
-        (int(h) << 32) + int(l) for h, l in zip(high.tolist(), low.tolist())
-    ]
-
-
 # --------------------------------------------------------------------------
-# Exact batched modular arithmetic.
+# Hot kernels: thin dispatchers into the active repro.kernels backend.
+#
+# Contract (enforced by tests/test_kernels.py and the load-time self-test
+# of the compiled backend): every backend returns bit-identical values
+# *and dtypes* to repro.kernels.numpy_backend, which holds the reference
+# implementations and the full per-kernel documentation.
 # --------------------------------------------------------------------------
-
-
-def _reduce_in_place(values: "np.ndarray", prime: int, rounds: int = 1) -> "np.ndarray":
-    """Conditionally subtract ``prime`` from ``values`` (owned buffer), in place.
-
-    Branch-free: for ``values < 2p`` (with ``p < 2^63``), ``values - p``
-    wraps past ``2^63`` exactly when ``values < p``, so the elementwise
-    minimum of the two is the reduced representative.  This outperforms a
-    masked subtract by a wide margin on large arrays.
-    """
-    p = np.uint64(prime)
-    for _ in range(rounds):
-        np.minimum(values, values - p, out=values)
-    return values
-
-
-def _mersenne_fold(
-    values: "np.ndarray", exponent: int, prime: int, bound_bits: int = 64
-) -> "np.ndarray":
-    """Reduce ``values < 2^bound_bits`` modulo the Mersenne prime ``2^exponent - 1``.
-
-    Uses ``2^exponent = 1 (mod p)``: repeatedly add the high part to the low
-    part (each round shrinks the bound to ``max(exponent, bound - exponent)
-    + 1`` bits), then subtract ``p`` the provably required number of times —
-    division-free, which is what makes the Mersenne moduli the batch fast
-    path.  The caller must own ``values`` (every call site passes a fresh
-    product array); it may be reduced in place.
-    """
-    if bound_bits < exponent:
-        return values  # already strictly below p
-    if bound_bits == exponent:
-        return _reduce_in_place(values, prime)  # at most the value p itself
-    mask = np.uint64(prime)
-    e = np.uint64(exponent)
-    # After each fold, folded <= (2^e - 1) + (2^h - 1) where h is the bit
-    # width of the (pre-fold) high part; refold while the high part alone
-    # can exceed p, then subtract p once (twice in the h == e edge case,
-    # where folded can reach exactly 2p).
-    high_bits = bound_bits - exponent
-    folded = (values & mask) + (values >> e)
-    while high_bits > exponent:
-        high_bits = max(exponent, high_bits) + 1 - exponent
-        folded = (folded & mask) + (folded >> e)
-    return _reduce_in_place(folded, prime, rounds=2 if high_bits >= exponent else 1)
-
-
-def _mersenne_rotate(values: "np.ndarray", shift: int, exponent: int, prime: int) -> "np.ndarray":
-    """Return ``values * 2^shift mod (2^exponent - 1)`` for ``values < 2^exponent``.
-
-    Multiplying by a power of two modulo a Mersenne prime is a bit rotation
-    within the ``exponent``-bit word; both halves stay below ``2^exponent``
-    so the computation never overflows ``uint64`` and one conditional
-    subtract restores ``[0, p)``.  ``values`` must be caller-owned.
-    """
-    shift %= exponent
-    if shift == 0:
-        return _reduce_in_place(values, prime)
-    rotated = (values & np.uint64((1 << (exponent - shift)) - 1)) << np.uint64(shift)
-    rotated += values >> np.uint64(exponent - shift)
-    return _reduce_in_place(rotated, prime)
-
-
-def _to_object_array(values: "np.ndarray") -> "np.ndarray":
-    """Convert a numeric ndarray to an object array of Python ints."""
-    if values.dtype == object:
-        return values
-    out = np.empty(values.shape, dtype=object)
-    out[:] = [int(v) for v in values.tolist()]
-    return out
 
 
 def mulmod(
@@ -371,54 +274,7 @@ def mulmod(
         A ``uint64`` array when the arithmetic fits in words, otherwise an
         object array of Python integers.
     """
-    if keys.dtype == object:
-        return (keys * multiplier) % prime
-    key_bits = max(key_bound - 1, 1).bit_length()
-    exponent = _MERSENNE_EXPONENTS.get(prime)
-    product_bits = (multiplier * max(key_bound - 1, 1)).bit_length()
-    # Direct path: the full product fits in an unsigned 64-bit word.
-    if product_bits <= 64:
-        product = np.uint64(multiplier) * keys
-        if prime >= (1 << 64):
-            return product  # already below the modulus
-        if exponent is not None:
-            # Division-free reduction for the Mersenne moduli.
-            return _mersenne_fold(product, exponent, prime, bound_bits=product_bits)
-        return product % np.uint64(prime)
-    if exponent is not None and key_bits <= 64 - (exponent // 2 + 1):
-        # Split the multiplier into limbs small enough that every partial
-        # product fits in 64 bits, then recombine with Mersenne rotations:
-        # Horner over limbs, entirely division-free.
-        limb_bits = 64 - key_bits
-        acc = None
-        shift = ((exponent + limb_bits - 1) // limb_bits - 1) * limb_bits
-        while shift >= 0:
-            limb = (multiplier >> shift) & ((1 << limb_bits) - 1)
-            part_bits = (limb * max(key_bound - 1, 1)).bit_length()
-            part = _mersenne_fold(
-                np.uint64(limb) * keys, exponent, prime, bound_bits=part_bits
-            )
-            if acc is None:
-                acc = part
-            else:
-                acc = _mersenne_rotate(acc, limb_bits, exponent, prime)
-                acc += part
-                _reduce_in_place(acc, prime)
-            shift -= limb_bits
-        return acc
-    if prime < (1 << 62) and key_bits <= 32:
-        # Generic split: high/low halves of the multiplier, with the high
-        # product shifted back into range by repeated exact doubling.
-        s = 31
-        high = (np.uint64(multiplier >> s) * keys) % np.uint64(prime)
-        for _ in range(s):
-            high = high + high
-            _reduce_in_place(high, prime)
-        low = (np.uint64(multiplier & ((1 << s) - 1)) * keys) % np.uint64(prime)
-        high += low
-        return _reduce_in_place(high, prime)
-    # Fallback: exact Python-int arithmetic, still array-at-a-time.
-    return (_to_object_array(keys) * multiplier) % prime
+    return _kernels.active().mulmod(multiplier, keys, prime, key_bound)
 
 
 def affine_mod(
@@ -429,12 +285,7 @@ def affine_mod(
     key_bound: int,
 ) -> "np.ndarray":
     """Return ``(multiplier * keys + offset) % prime`` exactly, elementwise."""
-    product = mulmod(multiplier, keys, prime, key_bound)
-    if product.dtype == object or prime >= (1 << 63):
-        return (_to_object_array(product) + offset) % prime
-    # product < prime < 2^63 and offset < prime, so the sum fits in uint64.
-    product += np.uint64(offset)
-    return _reduce_in_place(product, prime)
+    return _kernels.active().affine_mod(multiplier, offset, keys, prime, key_bound)
 
 
 def mod_range(values: "np.ndarray", range_size: int) -> "np.ndarray":
@@ -444,13 +295,47 @@ def mod_range(values: "np.ndarray", range_size: int) -> "np.ndarray":
     bin counts and the cubed spreading domains); ranges at least ``2^64``
     leave 64-bit values untouched; everything else pays one division pass.
     """
-    if values.dtype == object:
-        return values % range_size
-    if range_size >= (1 << 64):
-        return values
-    if range_size & (range_size - 1) == 0:
-        return values & np.uint64(range_size - 1)
-    return values % np.uint64(range_size)
+    return _kernels.active().mod_range(values, range_size)
+
+
+def affine_mod_range(
+    multiplier: int,
+    offset: int,
+    keys: "np.ndarray",
+    prime: int,
+    key_bound: int,
+    range_size: int,
+) -> "np.ndarray":
+    """The full Carter--Wegman chain ``((a*k + b) % p) % v``, elementwise.
+
+    The whole :meth:`repro.hashing.universal.PairwiseHash.hash_batch_validated`
+    evaluation as one seam kernel, so compiled backends fuse the hash →
+    range chain into a single pass instead of materializing the field
+    values in between.
+    """
+    return _kernels.active().affine_mod_range(
+        multiplier, offset, keys, prime, key_bound, range_size
+    )
+
+
+def kwise_mod_range(
+    coefficients,
+    keys: "np.ndarray",
+    prime: int,
+    key_bound: int,
+    range_size: int,
+) -> "np.ndarray":
+    """Evaluate a Carter--Wegman polynomial on a whole key array, reduced.
+
+    The whole :meth:`repro.hashing.kwise.KWiseHash.hash_batch_validated`
+    chain — Horner's rule over ``k`` coefficients (low degree first, all in
+    ``[0, prime)``) followed by one range reduction — as one seam kernel,
+    so compiled backends fuse all ``k`` field operations into a single
+    pass per key.
+    """
+    return _kernels.active().kwise_mod_range(
+        coefficients, keys, prime, key_bound, range_size
+    )
 
 
 def mulmod_arrays(
@@ -466,77 +351,47 @@ def mulmod_arrays(
     polynomial families, where the accumulator is a full field element but
     the evaluation point is bounded by the hash's key domain.
     """
-    if left.dtype == object or right.dtype == object:
-        return (_to_object_array(left) * _to_object_array(right)) % prime
-    right_bits = max(right_bound - 1, 1).bit_length()
-    exponent = _MERSENNE_EXPONENTS.get(prime)
-    if prime * max(right_bound - 1, 1) < (1 << 64):
-        product = left * right
-        if exponent is not None:
-            bound = ((prime - 1) * max(right_bound - 1, 1)).bit_length()
-            return _mersenne_fold(product, exponent, prime, bound_bits=bound)
-        return product % np.uint64(prime)
-    if exponent is not None and right_bits <= 63 - exponent // 2:
-        # Limb-split the *left* array; each limb-by-right product fits.
-        limb_bits = 64 - right_bits
-        acc = None
-        shift = ((exponent + limb_bits - 1) // limb_bits - 1) * limb_bits
-        while shift >= 0:
-            limb = (left >> np.uint64(shift)) & np.uint64((1 << limb_bits) - 1)
-            part = _mersenne_fold(
-                limb * right, exponent, prime, bound_bits=limb_bits + right_bits
-            )
-            if acc is None:
-                acc = part
-            else:
-                acc = _mersenne_rotate(acc, limb_bits, exponent, prime)
-                acc += part
-                _reduce_in_place(acc, prime)
-            shift -= limb_bits
-        return acc
-    if prime < (1 << 52):
-        # Barrett-style reduction with a float64 quotient estimate: the
-        # quotient is off by at most 2, so adding 2p before the final exact
-        # remainder keeps everything non-negative and inside uint64.
-        quotient = np.floor(
-            left.astype(np.float64) * right.astype(np.float64) / float(prime)
-        ).astype(np.uint64)
-        residue = left * right - quotient * np.uint64(prime)  # exact mod 2^64
-        residue = residue + np.uint64(2 * prime)
-        return residue % np.uint64(prime)
-    return (_to_object_array(left) * _to_object_array(right)) % prime
+    return _kernels.active().mulmod_arrays(left, right, prime, right_bound)
 
 
-# --------------------------------------------------------------------------
-# Grouped scatter reductions (the keyed sketch-store core).
-# --------------------------------------------------------------------------
+def grouped_residue_sums(
+    group_index: "np.ndarray",
+    group_count: int,
+    residues: "np.ndarray",
+    prime: int,
+) -> List[int]:
+    """Sum residues per group exactly, returning plain Python ints.
+
+    This is the scatter-accumulate core of the turnstile batch paths: the
+    per-item fingerprint/counter contributions (each already reduced to
+    ``[0, prime)``) are summed per touched cell, and the caller folds one
+    total into each cell with a single exact ``% prime``.  Equivalence
+    with the scalar loop is algebraic: ``(((c + r1) % p) + r2) % p ==
+    (c + r1 + r2) % p``.
+
+    Args:
+        group_index: ``int64`` array mapping each residue to its group
+            (as produced by ``np.unique(..., return_inverse=True)``).
+        group_count: number of groups.
+        residues: per-item contributions in ``[0, prime)``.
+        prime: the modulus the residues were reduced by.
+    """
+    return _kernels.active().grouped_residue_sums(
+        group_index, group_count, residues, prime
+    )
 
 
 def group_slices(indices: "np.ndarray"):
     """Sort a batch by group index and return the per-group structure.
 
-    The shared first half of every grouped scatter: one stable argsort
-    brings equal indices together, and the run boundaries identify each
-    touched group exactly once.
-
-    Args:
-        indices: integer ndarray of group indices (any values).
-
-    Returns:
-        ``(order, starts, touched)`` where ``order`` permutes the batch
-        into index-sorted position, ``starts`` marks the first sorted
-        position of each run, and ``touched`` holds each distinct index
-        once (in ascending order).  Empty inputs return empty arrays.
+    A NumPy helper (not a dispatched kernel): one stable argsort brings
+    equal indices together, and the run boundaries identify each touched
+    group exactly once.  See
+    :func:`repro.kernels.numpy_backend.group_slices`.
     """
-    if len(indices) == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty, empty
-    order = np.argsort(indices, kind="stable")
-    ordered = indices[order]
-    starts = np.flatnonzero(
-        np.concatenate((np.ones(1, dtype=bool), ordered[1:] != ordered[:-1]))
-    )
-    return order, starts, ordered[starts]
+    from .kernels import numpy_backend
+
+    return numpy_backend.group_slices(indices)
 
 
 def grouped_max_scatter(
@@ -544,13 +399,9 @@ def grouped_max_scatter(
 ) -> None:
     """Apply ``target[i] = max(target[i], v)`` for a whole batch, grouped.
 
-    The bulk register/counter reduction behind ``update_grouped``: the
-    batch is sorted by target index (:func:`group_slices`), each run is
-    collapsed with one ``np.maximum.reduceat`` pass, and each touched
-    cell is written once.  Identical to applying the pairs one at a time
-    in any order — maximum is commutative, associative, and idempotent —
-    and much faster than the buffered ``np.ufunc.at`` scatter on large
-    batches.
+    The bulk register/counter reduction behind ``update_grouped``.
+    Identical to applying the pairs one at a time in any order — maximum
+    is commutative, associative, and idempotent.
 
     Args:
         target: 1-D integer ndarray, mutated in place.
@@ -559,13 +410,7 @@ def grouped_max_scatter(
         values: candidate values; must fit ``target``'s dtype (callers
             cap them at the counter width, as the scalar paths do).
     """
-    order, starts, touched = group_slices(indices)
-    if len(touched) == 0:
-        return
-    maxima = np.maximum.reduceat(values[order], starts)
-    target[touched] = np.maximum(
-        target[touched], maxima.astype(target.dtype, copy=False)
-    )
+    return _kernels.active().grouped_max_scatter(target, indices, values)
 
 
 def grouped_or_scatter(
@@ -582,16 +427,7 @@ def grouped_or_scatter(
         indices: byte positions into ``target``; duplicates OR together.
         masks: per-entry ``uint8`` bit masks.
     """
-    order, starts, touched = group_slices(indices)
-    if len(touched) == 0:
-        return
-    combined = np.bitwise_or.reduceat(masks[order], starts)
-    target[touched] |= combined
-
-
-# --------------------------------------------------------------------------
-# Vectorized word primitives.
-# --------------------------------------------------------------------------
+    return _kernels.active().grouped_or_scatter(target, indices, masks)
 
 
 def lsb64_batch(values: "np.ndarray", zero_value: int) -> "np.ndarray":
@@ -608,9 +444,4 @@ def lsb64_batch(values: "np.ndarray", zero_value: int) -> "np.ndarray":
     Returns:
         An ``int64`` array of bit indices (or ``zero_value``).
     """
-    isolated = values & (np.uint64(0) - values)
-    indices = (isolated * _DEBRUIJN64) >> np.uint64(58)
-    result = _DEBRUIJN64_TABLE[indices]
-    if zero_value != 0:
-        return np.where(values == 0, np.int64(zero_value), result)
-    return np.where(values == 0, np.int64(0), result)
+    return _kernels.active().lsb64_batch(values, zero_value)

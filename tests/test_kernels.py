@@ -1,0 +1,502 @@
+"""Tests for the kernel backend seam (:mod:`repro.kernels`).
+
+Three layers of coverage:
+
+* **Fuzz against big-int ground truth** — every kernel primitive is pitted
+  against a plain-Python reference built on exact ``int`` arithmetic, at
+  u64 edge values (near ``2^64`` keys, Lemma-6-sized primes beyond
+  ``2^52``, empty and single-element arrays), parametrized over every
+  backend that can load in this environment.
+* **Cross-backend bit-identity** — each backend must match the NumPy
+  reference backend on values *and* dtypes, which is the hard contract
+  the compiled backend's delegation rules implement.
+* **Seam mechanics** — selection, fallback, forcing, and the
+  ``require_backend`` / ``kernel_backend_info`` diagnostics.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.kernels as kernels
+from repro.exceptions import KernelBackendError
+from repro.hashing.primes import next_prime
+from repro.kernels import numpy_backend
+
+# ---------------------------------------------------------------------------
+# Backend parametrization: every registered backend that loads here.
+# ---------------------------------------------------------------------------
+
+
+def _loadable_backends():
+    names = []
+    for name in kernels.available_backends():
+        try:
+            kernels.load_backend(name)
+        except KernelBackendError:
+            continue
+        names.append(name)
+    return names
+
+
+BACKENDS = _loadable_backends()
+
+backend_param = pytest.mark.parametrize("backend_name", BACKENDS)
+
+
+@pytest.fixture
+def restore_backend():
+    """Snapshot and restore the process-wide backend selection."""
+    saved_active = kernels._active
+    saved_chosen = kernels._chosen_by
+    yield
+    kernels._active = saved_active
+    kernels._chosen_by = saved_chosen
+
+
+def _backend(name):
+    return kernels.load_backend(name)
+
+
+# ---------------------------------------------------------------------------
+# Strategies: u64 edge values and the primes the library actually draws.
+# ---------------------------------------------------------------------------
+
+U64_MAX = (1 << 64) - 1
+
+#: Field moduli covering every reference code path: both Mersenne primes,
+#: a small non-Mersenne prime, a Lemma-6-scale prime beyond 2^52, and a
+#: large non-Mersenne prime beyond 2^62 (object-fallback territory).
+PRIMES = [
+    (1 << 31) - 1,
+    (1 << 61) - 1,
+    1_000_003,
+    next_prime(1 << 52),
+    next_prime(1 << 62),
+]
+
+edge_words = st.one_of(
+    st.sampled_from(
+        [0, 1, 2, (1 << 32) - 1, 1 << 32, (1 << 52) + 1, (1 << 63) - 1,
+         1 << 63, U64_MAX - 1, U64_MAX]
+    ),
+    st.integers(min_value=0, max_value=U64_MAX),
+)
+
+word_lists = st.lists(edge_words, min_size=0, max_size=40)
+
+
+def _keys_array(values):
+    return np.asarray(values, dtype=np.uint64)
+
+
+def _as_int_list(array):
+    return [int(v) for v in (array.tolist() if hasattr(array, "tolist") else array)]
+
+
+def _assert_matches_reference(backend_name, result, expected_ints):
+    """Backend output must equal big-int ground truth, and match the NumPy
+    backend bit-for-bit (values and dtype)."""
+    assert _as_int_list(result) == expected_ints
+
+
+# ---------------------------------------------------------------------------
+# Fuzz: batched modular arithmetic vs. Python big-int ground truth.
+# ---------------------------------------------------------------------------
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_mulmod_matches_bigint(backend_name, data):
+    backend = _backend(backend_name)
+    prime = data.draw(st.sampled_from(PRIMES))
+    values = data.draw(word_lists)
+    multiplier = data.draw(st.integers(min_value=0, max_value=prime - 1))
+    keys = _keys_array(values)
+    key_bound = max(values, default=0) + 1
+    result = backend.mulmod(multiplier, keys, prime, key_bound)
+    _assert_matches_reference(
+        backend_name, result, [(multiplier * k) % prime for k in values]
+    )
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_affine_mod_range_matches_bigint(backend_name, data):
+    backend = _backend(backend_name)
+    prime = data.draw(st.sampled_from(PRIMES))
+    values = data.draw(word_lists)
+    a = data.draw(st.integers(min_value=0, max_value=prime - 1))
+    b = data.draw(st.integers(min_value=0, max_value=prime - 1))
+    range_size = data.draw(
+        st.sampled_from([1, 2, 1 << 10, 1000, (1 << 32) - 5, 1 << 63])
+    )
+    keys = _keys_array(values)
+    key_bound = max(values, default=0) + 1
+    plain = backend.affine_mod(a, b, keys, prime, key_bound)
+    fused = backend.affine_mod_range(a, b, keys, prime, key_bound, range_size)
+    expected = [(a * k + b) % prime for k in values]
+    _assert_matches_reference(backend_name, plain, expected)
+    _assert_matches_reference(
+        backend_name, fused, [v % range_size for v in expected]
+    )
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_kwise_mod_range_matches_bigint(backend_name, data):
+    backend = _backend(backend_name)
+    prime = data.draw(st.sampled_from(PRIMES))
+    values = data.draw(word_lists)
+    k = data.draw(st.integers(min_value=1, max_value=8))
+    coefficients = [
+        data.draw(st.integers(min_value=0, max_value=prime - 1)) for _ in range(k)
+    ]
+    range_size = data.draw(st.sampled_from([1, 2, 1 << 16, 997]))
+    # Keys stay inside the field: the hash families always pair a universe
+    # with a prime at least as large (field_prime_for_universe), and that
+    # is the envelope in which every reference path is exact.
+    values = [v % prime for v in values]
+    keys = _keys_array(values)
+    key_bound = prime
+    result = backend.kwise_mod_range(coefficients, keys, prime, key_bound, range_size)
+    expected = []
+    for key in values:
+        acc = 0
+        for coefficient in reversed(coefficients):
+            acc = (acc * key + coefficient) % prime
+        expected.append(acc % range_size)
+    _assert_matches_reference(backend_name, result, expected)
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_mulmod_arrays_matches_bigint(backend_name, data):
+    backend = _backend(backend_name)
+    prime = data.draw(st.sampled_from(PRIMES))
+    values = data.draw(word_lists)
+    left = [data.draw(st.integers(min_value=0, max_value=prime - 1)) for _ in values]
+    # Keep both factors inside the field: that is the domain every call
+    # site uses (Horner accumulators and fingerprint weights), and the
+    # envelope in which the reference's Barrett float path is exact.
+    right = [v % prime for v in values]
+    right_bound = prime
+    left_arr = (
+        np.asarray(left, dtype=np.uint64)
+        if prime < (1 << 64)
+        else np.asarray(left, dtype=object)
+    )
+    result = backend.mulmod_arrays(
+        left_arr, _keys_array(right), prime, right_bound
+    )
+    _assert_matches_reference(
+        backend_name, result, [(l * r) % prime for l, r in zip(left, right)]
+    )
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(values=word_lists, data=st.data())
+def test_mod_range_matches_bigint(backend_name, values, data):
+    backend = _backend(backend_name)
+    range_size = data.draw(
+        st.sampled_from([1, 2, 3, 1 << 10, (1 << 32) + 1, 1 << 63, 1 << 64, 1 << 70])
+    )
+    result = backend.mod_range(_keys_array(values), range_size)
+    _assert_matches_reference(
+        backend_name, result, [v % range_size for v in values]
+    )
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(values=word_lists, zero_value=st.integers(min_value=0, max_value=128))
+def test_lsb64_batch_matches_bigint(backend_name, values, zero_value):
+    backend = _backend(backend_name)
+    result = backend.lsb64_batch(_keys_array(values), zero_value)
+    expected = [
+        (v & -v).bit_length() - 1 if v else zero_value for v in values
+    ]
+    _assert_matches_reference(backend_name, result, expected)
+
+
+# ---------------------------------------------------------------------------
+# Fuzz: grouped scatter reductions vs. scalar ground truth.
+# ---------------------------------------------------------------------------
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_grouped_residue_sums_matches_bigint(backend_name, data):
+    backend = _backend(backend_name)
+    prime = data.draw(st.sampled_from(PRIMES))
+    residues = [
+        v % prime for v in data.draw(word_lists)
+    ]
+    group_count = data.draw(st.integers(min_value=1, max_value=8))
+    index = [
+        data.draw(st.integers(min_value=0, max_value=group_count - 1))
+        for _ in residues
+    ]
+    dtype = object if prime >= (1 << 64) else np.uint64
+    result = backend.grouped_residue_sums(
+        np.asarray(index, dtype=np.int64),
+        group_count,
+        np.asarray(residues, dtype=dtype),
+        prime,
+    )
+    expected = [0] * group_count
+    for g, r in zip(index, residues):
+        expected[g] += r
+    assert result == expected
+    assert all(isinstance(total, int) for total in result)
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_grouped_max_scatter_matches_scalar(backend_name, data):
+    backend = _backend(backend_name)
+    dtype = data.draw(
+        st.sampled_from([np.uint8, np.uint16, np.uint32, np.uint64, np.int64])
+    )
+    cap = int(np.iinfo(dtype).max)
+    low = -100 if dtype == np.int64 else 0
+    size = data.draw(st.integers(min_value=1, max_value=16))
+    n = data.draw(st.integers(min_value=0, max_value=40))
+    index = [data.draw(st.integers(min_value=0, max_value=size - 1)) for _ in range(n)]
+    values = [
+        data.draw(st.integers(min_value=low, max_value=min(cap, 1 << 62)))
+        for _ in range(n)
+    ]
+    target = np.zeros(size, dtype=dtype)
+    backend.grouped_max_scatter(
+        target,
+        np.asarray(index, dtype=np.int64),
+        np.asarray(values, dtype=np.int64),
+    )
+    expected = [0] * size
+    for g, v in zip(index, values):
+        expected[g] = max(expected[g], v)
+    assert target.tolist() == expected
+
+
+@backend_param
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_grouped_or_scatter_matches_scalar(backend_name, data):
+    backend = _backend(backend_name)
+    size = data.draw(st.integers(min_value=1, max_value=16))
+    n = data.draw(st.integers(min_value=0, max_value=40))
+    index = [data.draw(st.integers(min_value=0, max_value=size - 1)) for _ in range(n)]
+    masks = [data.draw(st.integers(min_value=0, max_value=255)) for _ in range(n)]
+    target = np.zeros(size, dtype=np.uint8)
+    backend.grouped_or_scatter(
+        target,
+        np.asarray(index, dtype=np.int64),
+        np.asarray(masks, dtype=np.uint8),
+    )
+    expected = [0] * size
+    for g, m in zip(index, masks):
+        expected[g] |= m
+    assert target.tolist() == expected
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend bit-identity: values AND dtypes must match the reference.
+# ---------------------------------------------------------------------------
+
+
+@backend_param
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_backend_bit_identical_to_numpy_reference(backend_name, data):
+    backend = _backend(backend_name)
+    prime = data.draw(st.sampled_from(PRIMES))
+    values = data.draw(word_lists)
+    a = data.draw(st.integers(min_value=0, max_value=prime - 1))
+    b = data.draw(st.integers(min_value=0, max_value=prime - 1))
+    keys = _keys_array(values)
+    key_bound = 1 << 64
+    for kernel, args in [
+        ("mulmod", (a, keys, prime, key_bound)),
+        ("affine_mod", (a, b, keys, prime, key_bound)),
+        ("affine_mod_range", (a, b, keys, prime, key_bound, 1 << 20)),
+        ("kwise_mod_range", ([a, b, 1], keys, prime, key_bound, 997)),
+        ("mod_range", (keys, 1000)),
+        ("lsb64_batch", (keys, 64)),
+    ]:
+        mine = getattr(backend, kernel)(*args)
+        reference = getattr(numpy_backend, kernel)(*args)
+        assert mine.dtype == reference.dtype, kernel
+        assert mine.tolist() == reference.tolist(), kernel
+
+
+def test_empty_and_single_element_arrays():
+    prime = (1 << 61) - 1
+    for backend_name in BACKENDS:
+        backend = _backend(backend_name)
+        empty = np.empty(0, dtype=np.uint64)
+        single = np.asarray([U64_MAX], dtype=np.uint64)
+        assert backend.mulmod(7, empty, prime, 1 << 64).tolist() == []
+        assert backend.affine_mod_range(3, 5, empty, prime, 1 << 64, 8).tolist() == []
+        assert backend.lsb64_batch(empty, 9).tolist() == []
+        assert backend.grouped_residue_sums(
+            np.empty(0, dtype=np.int64), 3, empty, prime
+        ) == [0, 0, 0]
+        assert backend.mulmod(7, single, prime, 1 << 64).tolist() == [
+            (7 * U64_MAX) % prime
+        ]
+        target = np.zeros(2, dtype=np.uint8)
+        backend.grouped_max_scatter(
+            target, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert target.tolist() == [0, 0]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: estimator state words are bit-identical across backends.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(len(BACKENDS) < 2, reason="only one backend available here")
+def test_estimator_state_bit_identical_across_backends(restore_backend):
+    from repro.l0.knw_l0 import KNWHammingNormEstimator
+    from repro.serialize import snapshot
+
+    states = {}
+    for backend_name in BACKENDS:
+        kernels.set_backend(backend_name)
+        estimator = KNWHammingNormEstimator(universe_size=1 << 16, eps=0.5, seed=7)
+        items = [(i * 2654435761) % (1 << 16) for i in range(4000)]
+        deltas = [1 if i % 3 else -1 for i in range(4000)]
+        estimator.update_batch(items, deltas)
+        states[backend_name] = snapshot(estimator)
+    reference = states["numpy"]
+    for backend_name, state in states.items():
+        assert state == reference, backend_name
+
+
+# ---------------------------------------------------------------------------
+# Seam mechanics: selection, forcing, fallback, diagnostics.
+# ---------------------------------------------------------------------------
+
+
+def test_available_backends_lists_registry():
+    assert kernels.available_backends() == ["compiled", "numpy"]
+
+
+def test_load_backend_unknown_name_raises():
+    with pytest.raises(KernelBackendError, match="unknown kernel backend"):
+        kernels.load_backend("cuda")
+
+
+def test_set_backend_and_info(restore_backend):
+    backend = kernels.set_backend("numpy")
+    assert backend.name == "numpy"
+    assert kernels.get_backend() == "numpy"
+    info = kernels.kernel_backend_info()
+    assert info["name"] == "numpy"
+    assert info["chosen_by"] == "set_backend"
+    assert info["available"]["numpy"] is True
+    assert set(info["available"]) == {"compiled", "numpy"}
+
+
+def test_set_backend_unknown_preserves_active(restore_backend):
+    kernels.set_backend("numpy")
+    with pytest.raises(KernelBackendError):
+        kernels.set_backend("nope")
+    assert kernels.get_backend() == "numpy"
+
+
+def test_require_backend_messages():
+    kernels.require_backend("numpy", "this test")  # loads fine: no raise
+    with pytest.raises(KernelBackendError, match="this test requires"):
+        kernels.require_backend("missing-backend", "this test")
+
+
+def _run_with_env(code, **env):
+    merged = dict(os.environ)
+    merged.update(env)
+    merged["PYTHONPATH"] = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=merged,
+    )
+
+
+def test_env_var_selects_backend():
+    result = _run_with_env(
+        "import repro.kernels as k; print(k.get_backend())",
+        REPRO_KERNEL_BACKEND="numpy",
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "numpy"
+
+
+def test_forced_compiled_unavailable_raises_not_falls_back(tmp_path):
+    # Simulate a machine with no C toolchain: empty PATH and no CC.  The
+    # explicit REPRO_KERNEL_BACKEND=compiled must raise, never fall back.
+    result = _run_with_env(
+        "import repro.kernels as k\n"
+        "try:\n"
+        "    k.active()\n"
+        "except Exception as exc:\n"
+        "    print(type(exc).__name__)\n",
+        REPRO_KERNEL_BACKEND="compiled",
+        REPRO_KERNEL_BUILD_DIR=str(tmp_path),
+        PATH="",
+        CC="",
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "KernelBackendError"
+
+
+def test_auto_falls_back_with_single_warning_when_compiled_unavailable(tmp_path):
+    result = _run_with_env(
+        "import warnings\n"
+        "import repro.kernels as k\n"
+        "with warnings.catch_warnings(record=True) as caught:\n"
+        "    warnings.simplefilter('always')\n"
+        "    k.active(); k.active()\n"
+        "print(k.get_backend())\n"
+        "print(sum('compiled backend unavailable' in str(w.message)"
+        " for w in caught))\n",
+        REPRO_KERNEL_BACKEND="auto",
+        REPRO_KERNEL_BUILD_DIR=str(tmp_path),
+        PATH="",
+        CC="",
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.split() == ["numpy", "1"]
+
+
+def test_require_numpy_error_names_install_route():
+    from repro.vectorize import require_numpy
+
+    require_numpy("anything")  # numpy present here: no raise
+    import repro.vectorize as vectorize
+
+    saved = vectorize.HAS_NUMPY
+    vectorize.HAS_NUMPY = False
+    try:
+        with pytest.raises(Exception, match="pip install numpy"):
+            require_numpy("batch ingestion")
+    finally:
+        vectorize.HAS_NUMPY = saved
