@@ -32,7 +32,6 @@ Environment knobs (for CI smoke runs and local experiments):
 from __future__ import annotations
 
 import os
-import tempfile
 import time
 
 import numpy as np

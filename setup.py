@@ -6,6 +6,7 @@ the version. The layout is a standard ``src/`` tree::
 
     pip install -e .            # runtime (numpy only)
     pip install -e ".[bench]"   # + the pytest/pytest-benchmark harness
+    pip install -e ".[dev]"     # + the lint/test toolchain (pinned ruff)
 """
 
 import os
@@ -66,6 +67,16 @@ setup(
         # ``pip install ".[compiled]"`` documents the intent; the backend
         # is built lazily from the bundled _kernels.c at first use.
         "compiled": [],
+        # Developer toolchain: the test runner plus the pinned base
+        # linter that backs the CI lint gate (the contract linter,
+        # ``python -m repro.lint``, ships with the package and needs
+        # nothing beyond numpy).  ruff is pinned exactly so the gate
+        # cannot drift as new ruff releases add rules.
+        "dev": [
+            "pytest>=7.0",
+            "hypothesis>=6.0",
+            "ruff==0.5.7",
+        ],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

@@ -23,7 +23,7 @@ from ..bitstructs.space import SpaceBreakdown
 from ..estimators.base import CardinalityEstimator
 from ..exceptions import MergeError, ParameterError
 from ..hashing.random_oracle import RandomOracle
-from ..vectorize import as_key_array, np
+from ..vectorize import as_key_array
 
 __all__ = ["LinearCounter", "MultiScaleBitmapCounter"]
 

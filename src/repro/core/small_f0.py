@@ -20,7 +20,7 @@ one-way handover sound.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 from ..bitstructs.bitvector import BitVector
 from ..bitstructs.space import SpaceBreakdown

@@ -1,0 +1,35 @@
+"""The library's single ambient-entropy source.
+
+Every hash family and estimator accepts an explicit seed/RNG; when the
+caller passes none, they fall back to fresh OS entropy *through this
+module only*.  Centralizing the fallback keeps the determinism contract
+auditable: ``repro.lint``'s ``det-unseeded-rng`` rule forbids unseeded
+RNG construction everywhere else in the library, so "is this sketch
+seed-determined?" reduces to "did anything call into this module?".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["fresh_rng", "fresh_seed"]
+
+
+def fresh_rng(rng: Optional[random.Random] = None) -> random.Random:
+    """Return ``rng`` unchanged, or a freshly-entropy-seeded generator.
+
+    The standard fallback for ``rng: Optional[random.Random]``
+    parameters: explicitly-passed generators (the seeded, deterministic
+    path) are returned as-is.
+    """
+    if rng is not None:
+        return rng
+    # The one intentional ambient-entropy draw in the library: callers who
+    # omitted the seed asked for an independent random function.
+    return random.Random()  # lint: allow[det-unseeded-rng] sole documented entropy fallback for seedless callers
+
+
+def fresh_seed(bits: int = 63) -> int:
+    """Draw a fresh integer seed from OS entropy (for seedless callers)."""
+    return fresh_rng().getrandbits(bits)

@@ -19,10 +19,12 @@ Pagh--Pagh families provided in :mod:`repro.hashing.siegel` and
 from __future__ import annotations
 
 import random
+
+from .entropy import fresh_rng
 from typing import List, Optional, Sequence
 
 from ..exceptions import ParameterError
-from ..vectorize import as_key_array, kwise_mod_range, np
+from ..vectorize import as_key_array, kwise_mod_range
 from .primes import field_prime_for_universe
 
 __all__ = ["KWiseHash", "required_independence"]
@@ -108,7 +110,7 @@ class KWiseHash:
                 )
             self._coefficients: List[int] = coeffs
         else:
-            rng = rng if rng is not None else random.Random()
+            rng = fresh_rng(rng)
             self._coefficients = [
                 rng.randrange(0, self._prime) for _ in range(independence)
             ]

@@ -19,6 +19,8 @@ than the library ever needs.
 from __future__ import annotations
 
 import random
+
+from .entropy import fresh_rng
 from typing import Iterator, Optional, Sequence
 
 from ..exceptions import ParameterError
@@ -144,7 +146,7 @@ def random_prime(low: int, high: int, rng: Optional[random.Random] = None) -> in
         raise ParameterError("random_prime lower bound must be at least 2")
     if high < low:
         raise ParameterError("random_prime upper bound below lower bound")
-    rng = rng if rng is not None else random.Random()
+    rng = fresh_rng(rng)
     start = rng.randint(low, high)
     candidate = next_prime(start - 1)
     if candidate > high:

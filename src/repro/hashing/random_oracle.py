@@ -20,7 +20,7 @@ on every key (which is what lets oracle-model sketches be merged).
 
 from __future__ import annotations
 
-import random
+from .entropy import fresh_seed
 from typing import Optional
 
 from ..exceptions import ParameterError
@@ -71,7 +71,7 @@ class RandomOracle:
             raise ParameterError("range_size must be positive")
         self.universe_size = universe_size
         self.range_size = range_size
-        self.seed = seed if seed is not None else random.getrandbits(63)
+        self.seed = seed if seed is not None else fresh_seed()
 
     def __call__(self, key: int) -> int:
         """Evaluate the oracle on ``key``."""

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import math
 import random
+
+from .entropy import fresh_rng
 from typing import Dict, Optional
 
 from ..exceptions import ParameterError
@@ -97,7 +99,7 @@ class SiegelHash:
             raise ParameterError("independence must be positive")
         self.independence = independence
         self.eta = eta
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = fresh_rng(rng)
         self._memo: Dict[int, int] = {}
         self.failure_probability = failure_probability
         self._failed = self._rng.random() < failure_probability

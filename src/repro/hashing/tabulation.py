@@ -18,6 +18,8 @@ its occupancy statistics get to a truly random function.
 from __future__ import annotations
 
 import random
+
+from .entropy import fresh_rng
 from typing import List, Optional
 
 from ..exceptions import ParameterError
@@ -57,7 +59,7 @@ class TabulationHash:
             raise ParameterError("key_bits and value_bits must be positive")
         if character_bits <= 0:
             raise ParameterError("character_bits must be positive")
-        rng = rng if rng is not None else random.Random()
+        rng = fresh_rng(rng)
         self.key_bits = key_bits
         self.value_bits = value_bits
         self.character_bits = character_bits

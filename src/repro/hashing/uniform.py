@@ -31,6 +31,8 @@ stand-in) and why it preserves the relevant behaviour.
 from __future__ import annotations
 
 import random
+
+from .entropy import fresh_rng
 from typing import Dict, Optional
 
 from ..exceptions import ParameterError
@@ -93,7 +95,7 @@ class LazyUniformHash:
         self.universe_size = universe_size
         self.range_size = range_size
         self.capacity = capacity
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = fresh_rng(rng)
         self._memo: Dict[int, int] = {}
         self.failure_probability = failure_probability
         self._failed = self._rng.random() < failure_probability

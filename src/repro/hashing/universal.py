@@ -24,6 +24,8 @@ exactly as the paper accounts.
 from __future__ import annotations
 
 import random
+
+from .entropy import fresh_rng
 from typing import Optional
 
 from ..exceptions import ParameterError
@@ -64,7 +66,7 @@ class PairwiseHash:
             raise ParameterError("universe_size must be positive")
         if range_size <= 0:
             raise ParameterError("range_size must be positive")
-        rng = rng if rng is not None else random.Random()
+        rng = fresh_rng(rng)
         self.universe_size = universe_size
         self.range_size = range_size
         self._prime = field_prime_for_universe(max(universe_size, range_size))
@@ -163,7 +165,7 @@ class MultiplyShiftHash:
             raise ParameterError("universe_size must be positive")
         if not is_power_of_two(range_size):
             raise ParameterError("MultiplyShiftHash requires a power-of-two range")
-        rng = rng if rng is not None else random.Random()
+        rng = fresh_rng(rng)
         self.universe_size = universe_size
         self.range_size = range_size
         key_bits = max(universe_size - 1, 1).bit_length()

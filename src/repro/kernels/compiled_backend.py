@@ -22,6 +22,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
@@ -35,6 +36,16 @@ from .numpy_backend import np
 _ABI_VERSION = 1
 
 _SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_kernels.c")
+
+#: Extra compile flags appended to the kernel build.  The hook CI uses for
+#: sanitizer-hardened builds, e.g.::
+#:
+#:     REPRO_KERNEL_CFLAGS="-fsanitize=undefined -fno-sanitize-recover"
+#:
+#: The flags participate in the build-cache key (see
+#: :func:`_library_basename`), so a sanitizer build and a production build
+#: of the same source never collide in the source-hash-keyed .so cache.
+CFLAGS_ENV_VAR = "REPRO_KERNEL_CFLAGS"
 
 _U64_MAX = (1 << 64) - 1
 _I64_MAX = (1 << 63) - 1
@@ -67,9 +78,25 @@ def _find_compiler() -> Optional[str]:
     return None
 
 
-def _source_digest() -> str:
+def _extra_cflags() -> List[str]:
+    """Extra compiler flags from ``REPRO_KERNEL_CFLAGS`` (shell-split)."""
+    return shlex.split(os.environ.get(CFLAGS_ENV_VAR, ""))
+
+
+def _library_basename() -> str:
+    """Cache filename keyed by source content *and* the extra CFLAGS.
+
+    Differently-flagged builds (UBSan vs production) of identical source
+    produce different binaries; keying the cache on both means switching
+    ``REPRO_KERNEL_CFLAGS`` can never pick up a stale library built under
+    other flags.
+    """
+    digest = hashlib.sha256()
     with open(_SOURCE, "rb") as handle:
-        return hashlib.sha256(handle.read()).hexdigest()[:16]
+        digest.update(handle.read())
+    digest.update(b"\0")
+    digest.update(" ".join(_extra_cflags()).encode("utf-8"))
+    return "repro_kernels-%s.so" % digest.hexdigest()[:16]
 
 
 def _build_dirs() -> List[str]:
@@ -101,6 +128,7 @@ def _compile(compiler: str, library: str) -> None:
         "-fPIC",
         "-shared",
         "-fvisibility=hidden",
+        *_extra_cflags(),
         "-o",
         scratch,
         _SOURCE,
@@ -131,7 +159,7 @@ def _build_library() -> str:
     """Return the path to a compiled shared object, building if needed."""
     if not os.path.exists(_SOURCE):
         raise KernelBackendError("kernel source %s is missing" % _SOURCE)
-    basename = "repro_kernels-%s.so" % _source_digest()
+    basename = _library_basename()
     for directory in _build_dirs():
         library = os.path.join(directory, basename)
         if os.path.exists(library):
@@ -188,6 +216,7 @@ class CompiledKernels:
             "library": self._library_path,
             "compiler": self._compiler,
             "abi": _ABI_VERSION,
+            "cflags": _extra_cflags(),
         }
 
     # -- helpers ---------------------------------------------------------------------

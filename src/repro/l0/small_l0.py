@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import math
 import random
+
+from ..hashing.entropy import fresh_rng
 from typing import List, Optional, Sequence
 
 from ..bitstructs.space import SpaceBreakdown
@@ -67,7 +69,7 @@ def make_trial_hashes(
     """
     if trials <= 0:
         raise ParameterError("trials must be positive")
-    rng = rng if rng is not None else random.Random()
+    rng = fresh_rng(rng)
     return [PairwiseHash(universe_size, buckets, rng=rng) for _ in range(trials)]
 
 

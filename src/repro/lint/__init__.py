@@ -1,0 +1,38 @@
+"""Static-analysis pass enforcing this repository's correctness contracts.
+
+The test suite checks the contracts dynamically; this package checks
+them statically, at commit time, over every source file:
+
+* **exact arithmetic** — no NumPy transcendentals, ``np.float*`` casts,
+  or implicit float division on sketch estimate/ingest/merge paths;
+* **determinism** — no unseeded RNG or wall-clock reads in library
+  code, no order-dependent iteration inside the canonical encoders;
+* **serialization discipline** — no pickle under ``src/``, no
+  swallowing excepts on decode paths;
+* **parallel hygiene** — pool construction only through ``get_pool``,
+  fork-safe module state in the parallel package;
+* **kernel-seam discipline** — backend kernels only via the
+  ``repro.vectorize`` dispatch seam;
+
+plus an import-time **registry audit** (estimator contract surface,
+``WAL_METHODS`` resolution, seam/rule sync).  Run it as::
+
+    python -m repro.lint [paths ...]
+
+See :mod:`repro.lint.engine` for suppressions and baseline mechanics,
+and ``docs/architecture.md`` ("Static analysis & contracts") for the
+rule catalogue and how to add a rule.
+"""
+
+from .engine import Finding, LintResult, Rule, lint_paths, lint_source
+from .rules import all_rules, rules_by_id
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "all_rules",
+    "rules_by_id",
+]

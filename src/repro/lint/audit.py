@@ -1,0 +1,217 @@
+"""Cross-module registry audit: import-time contract introspection.
+
+The AST rules check what source *text* promises; this pass checks what
+the imported package actually *provides*.  Three audits, all driven from
+the same CLI and reported as ordinary findings:
+
+* **estimator contract surface** — every registry estimator (F0 and L0)
+  instantiates and exposes the full surface the harness, the stores, the
+  plan executor, and the WAL rely on (``update_batch`` / ``merge`` /
+  ``clear`` (L0) / ``state_dict`` / ``to_bytes`` and their inverses), and
+  its empty-state ``to_bytes`` round-trips byte-stably;
+* **WAL method resolution** — every name any class lists in
+  ``WAL_METHODS`` resolves to a real callable method, so a recovered log
+  can never reference a method that was renamed out from under it;
+* **kernel-seam sync** — the seam-bypass rule's kernel list matches
+  ``repro.kernels.REQUIRED_KERNELS`` exactly, so the static rule can
+  never silently lag the real seam.
+
+Importing the package needs numpy; when it is missing the audit degrades
+to a single warning finding instead of failing the lint run.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from typing import Iterable, List
+
+from .engine import Finding
+
+__all__ = ["run_audit"]
+
+#: Surface every estimator must expose (callable attributes).  F0
+#: estimators take items (and bulk item iterables); L0 estimators take
+#: (item, delta) updates, so their bulk surface is apply/clear instead
+#: of update_many.
+F0_SURFACE = (
+    "update",
+    "update_batch",
+    "update_many",
+    "merge",
+    "estimate",
+    "space_bits",
+    "state_dict",
+    "load_state_dict",
+    "to_bytes",
+    "from_bytes",
+)
+L0_SURFACE = (
+    "update",
+    "update_batch",
+    "apply",
+    "merge",
+    "clear",
+    "estimate",
+    "space_bits",
+    "state_dict",
+    "load_state_dict",
+    "to_bytes",
+    "from_bytes",
+)
+
+_AUDIT_UNIVERSE = 1 << 16
+_AUDIT_EPS = 0.25
+_AUDIT_SEED = 7
+
+
+def _class_path(klass: type) -> str:
+    """Repo-relative source path of ``klass`` (best effort)."""
+    try:
+        source = inspect.getsourcefile(klass) or ""
+    except TypeError:
+        source = ""
+    source = source.replace("\\", "/")
+    marker = "/repro/"
+    index = source.rfind(marker)
+    if index >= 0:
+        return "src/repro/" + source[index + len(marker) :]
+    return "src/repro/estimators/registry.py"
+
+
+def _finding(rule: str, path: str, message: str, severity: str = "error") -> Finding:
+    return Finding(rule=rule, path=path, line=1, col=1, message=message, severity=severity)
+
+
+def _audit_surface(
+    estimator: object, surface: Iterable[str], name: str, findings: List[Finding]
+) -> None:
+    klass = type(estimator)
+    path = _class_path(klass)
+    for method in surface:
+        attr = getattr(klass, method, None)
+        if attr is None or not callable(attr):
+            findings.append(
+                _finding(
+                    "audit-estimator-contract",
+                    path,
+                    "registry estimator %r (%s) is missing the contract "
+                    "method %s()" % (name, klass.__name__, method),
+                )
+            )
+    # Empty-state serialization must execute and be byte-stable: the
+    # parallel recipes, the stores, and the WAL all clone through it.
+    try:
+        data = estimator.to_bytes()  # type: ignore[attr-defined]
+        clone = klass.from_bytes(data)  # type: ignore[attr-defined]
+        again = clone.to_bytes()
+    except Exception as exc:
+        findings.append(
+            _finding(
+                "audit-estimator-contract",
+                path,
+                "registry estimator %r (%s) failed the empty-state "
+                "serialization round-trip: %s" % (name, klass.__name__, exc),
+            )
+        )
+        return
+    if again != data:
+        findings.append(
+            _finding(
+                "audit-estimator-contract",
+                path,
+                "registry estimator %r (%s): to_bytes() is not byte-stable "
+                "across one from_bytes round-trip" % (name, klass.__name__),
+            )
+        )
+
+
+def _audit_registry(findings: List[Finding]) -> None:
+    from ..estimators import registry
+
+    for name in registry.f0_algorithm_names():
+        estimator = registry.make_f0_estimator(
+            name, _AUDIT_UNIVERSE, _AUDIT_EPS, seed=_AUDIT_SEED
+        )
+        _audit_surface(estimator, F0_SURFACE, name, findings)
+    for name in registry.l0_algorithm_names():
+        estimator = registry.make_l0_estimator(
+            name, _AUDIT_UNIVERSE, _AUDIT_EPS, 8, seed=_AUDIT_SEED
+        )
+        _audit_surface(estimator, L0_SURFACE, name, findings)
+
+
+def _iter_repro_classes():
+    import repro
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        for _, value in vars(module).items():
+            if inspect.isclass(value) and value.__module__ == info.name:
+                yield value
+
+
+def _audit_wal_methods(findings: List[Finding]) -> None:
+    for klass in _iter_repro_classes():
+        methods = klass.__dict__.get("WAL_METHODS")
+        if methods is None:
+            continue
+        for name in methods:
+            attr = getattr(klass, name, None)
+            if attr is None or not callable(attr):
+                findings.append(
+                    _finding(
+                        "audit-wal-methods",
+                        _class_path(klass),
+                        "%s.WAL_METHODS names %r, which does not resolve to "
+                        "a method — a recovered log would fail to replay"
+                        % (klass.__name__, name),
+                    )
+                )
+
+
+def _audit_kernel_seam(findings: List[Finding]) -> None:
+    from .. import kernels
+    from .rules.kernel_seam import SEAM_KERNELS
+
+    required = set(kernels.REQUIRED_KERNELS)
+    listed = set(SEAM_KERNELS)
+    for missing in sorted(required - listed):
+        findings.append(
+            _finding(
+                "audit-kernel-seam-sync",
+                "src/repro/lint/rules/kernel_seam.py",
+                "kernel %r is in repro.kernels.REQUIRED_KERNELS but not in "
+                "SEAM_KERNELS; the seam-bypass rule cannot see it" % missing,
+            )
+        )
+    for extra in sorted(listed - required):
+        findings.append(
+            _finding(
+                "audit-kernel-seam-sync",
+                "src/repro/lint/rules/kernel_seam.py",
+                "kernel %r is in SEAM_KERNELS but not in "
+                "repro.kernels.REQUIRED_KERNELS; remove it" % extra,
+            )
+        )
+
+
+def run_audit() -> List[Finding]:
+    """Run every audit; returns findings (empty when the package is sound)."""
+    findings: List[Finding] = []
+    try:
+        import numpy  # noqa: F401 - availability probe only
+    except ImportError:
+        return [
+            _finding(
+                "audit-unavailable",
+                "src/repro/lint/audit.py",
+                "numpy is unavailable; the registry audit was skipped",
+                severity="warning",
+            )
+        ]
+    _audit_registry(findings)
+    _audit_wal_methods(findings)
+    _audit_kernel_seam(findings)
+    return findings

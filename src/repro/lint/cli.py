@@ -1,0 +1,126 @@
+"""Command line for the contract linter: ``python -m repro.lint``.
+
+Exit status: 0 when every error-severity finding is covered by the
+baseline (warnings — stale baseline entries, unused suppressions — never
+fail the run); 1 when new findings exist; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from . import audit as audit_module
+from .engine import (
+    apply_baseline,
+    format_baseline,
+    lint_paths,
+    load_baseline,
+)
+from .rules import all_rules
+
+__all__ = ["main"]
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_BASELINE = "lint-baseline.txt"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST contract linter for this repository.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: %s)" % " ".join(DEFAULT_PATHS),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root paths are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: <root>/%s when present)" % DEFAULT_BASELINE,
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the import-time registry/WAL/seam audit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print("%-28s %-8s %s" % (rule.id, rule.severity, rule.description))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    root = os.path.abspath(args.root or os.getcwd())
+    missing = [
+        path
+        for path in args.paths
+        if not os.path.exists(path if os.path.isabs(path) else os.path.join(root, path))
+    ]
+    if missing:
+        print("error: no such path: %s" % ", ".join(missing), file=sys.stderr)
+        return 2
+
+    result = lint_paths(args.paths, all_rules(), root=root)
+    if not args.no_audit:
+        result.findings.extend(audit_module.run_audit())
+
+    baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
+    if args.write_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write(format_baseline(result.findings))
+        print(
+            "wrote %d finding(s) to %s" % (len(result.errors), baseline_path)
+        )
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    errors: List = result.errors
+    new, baselined, stale = apply_baseline(errors, baseline)
+
+    for finding in new:
+        print(finding.render())
+    for finding in result.warnings:
+        print(finding.render())
+    for rule, path, fingerprint in stale:
+        print(
+            "%s: stale-baseline [warning] entry %s %s no longer matches any "
+            "finding; remove it from the baseline" % (path, rule, fingerprint)
+        )
+    print(
+        "repro.lint: %d file(s), %d finding(s) (%d new, %d baselined, "
+        "%d warning(s), %d stale baseline entr%s)"
+        % (
+            result.files_checked,
+            len(errors),
+            len(new),
+            len(baselined),
+            len(result.warnings),
+            len(stale),
+            "y" if len(stale) == 1 else "ies",
+        )
+    )
+    return 1 if new else 0

@@ -1,0 +1,48 @@
+"""The rule library: every contract rule, in one registry.
+
+Each submodule encodes one family of repo contracts and exposes a
+``RULES`` tuple of instantiated :class:`repro.lint.engine.Rule` objects;
+:func:`all_rules` is the single aggregation point the CLI and the tests
+consume.  Adding a rule means adding it to its family's ``RULES`` (or a
+new submodule listed here) — nothing else to register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..engine import Rule
+from . import (
+    determinism,
+    exact_arithmetic,
+    kernel_seam,
+    parallel_hygiene,
+    serialization,
+)
+
+__all__ = ["all_rules", "rules_by_id"]
+
+_FAMILIES = (
+    exact_arithmetic,
+    determinism,
+    serialization,
+    parallel_hygiene,
+    kernel_seam,
+)
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered contract rule, in stable order."""
+    rules = []
+    for family in _FAMILIES:
+        rules.extend(family.RULES)
+    return tuple(rules)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    mapping = {}
+    for rule in all_rules():
+        if rule.id in mapping:
+            raise ValueError("duplicate rule id %r" % rule.id)
+        mapping[rule.id] = rule
+    return mapping

@@ -1,0 +1,152 @@
+"""Exact-arithmetic rules: the PR-4 ulp-drift bug class.
+
+The bit-identical contract (batch == scalar == grouped == sharded, every
+state word) only holds because sketch state paths stay on exact integer
+arithmetic and reporting paths use libm (``math.log`` / Python ``pow``)
+rather than NumPy transcendentals, which may differ from libm by an ulp
+and differ *across* NumPy builds.  These rules flag the three ways that
+contract historically broke:
+
+* NumPy transcendentals (``np.log`` & co.) on estimate/ingest/merge
+  paths of the sketch packages;
+* ``np.float*`` casts on those paths (silent precision truncation);
+* implicit ``/`` (true division) inside *state-mutating* paths, which
+  must use ``//`` to stay exact.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import ModuleContext, Rule
+
+#: Packages whose estimate/ingest/merge paths carry the exactness contract.
+SKETCH_PACKAGES = (
+    "src/repro/estimators/",
+    "src/repro/baselines/",
+    "src/repro/l0/",
+    "src/repro/store/",
+    "src/repro/core/",
+)
+
+#: numpy functions whose results are not reproducible to the bit across
+#: builds (or versus libm); reporting code must use math.* instead.
+NUMPY_TRANSCENDENTALS = frozenset(
+    {
+        "log",
+        "log2",
+        "log10",
+        "log1p",
+        "exp",
+        "exp2",
+        "expm1",
+        "sqrt",
+        "cbrt",
+        "power",
+        "float_power",
+        "sin",
+        "cos",
+        "tan",
+        "arcsin",
+        "arccos",
+        "arctan",
+        "arctan2",
+        "sinh",
+        "cosh",
+        "tanh",
+        "hypot",
+    }
+)
+
+NUMPY_FLOAT_TYPES = frozenset({"float16", "float32", "float64", "float128"})
+
+_MUTATOR_PREFIXES = ("_ingest", "_update", "_merge", "_apply")
+_MUTATOR_NAMES = frozenset(
+    {"update", "update_batch", "update_grouped", "update_many", "merge", "clear", "apply"}
+)
+
+
+def _in_contract_function(ctx: ModuleContext, include_estimate: bool) -> bool:
+    for name in ctx.enclosing_functions():
+        if include_estimate and name == "estimate":
+            return True
+        if name in _MUTATOR_NAMES or name.startswith(_MUTATOR_PREFIXES):
+            return True
+    return False
+
+
+class _SketchPathRule(Rule):
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(SKETCH_PACKAGES)
+
+
+class NumpyTranscendentalRule(_SketchPathRule):
+    id = "exact-np-transcendental"
+    description = (
+        "NumPy transcendental on an estimate/ingest/merge path; use math.* "
+        "(libm) so estimates agree to the bit across NumPy builds"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, ctx: ModuleContext, node: ast.Call) -> None:
+        if not _in_contract_function(ctx, include_estimate=True):
+            return
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None or "." not in dotted:
+            return
+        base, _, attr = dotted.rpartition(".")
+        if base == "numpy" and attr in NUMPY_TRANSCENDENTALS:
+            ctx.report(
+                self,
+                node,
+                "numpy.%s on a sketch estimate/ingest/merge path; use the "
+                "math module (libm) for bit-stable results" % attr,
+            )
+
+
+class NumpyFloatCastRule(_SketchPathRule):
+    id = "exact-np-float-cast"
+    description = (
+        "np.float* reference on an estimate/ingest/merge path; sketch state "
+        "words are exact integers"
+    )
+    node_types = (ast.Attribute,)
+
+    def visit(self, ctx: ModuleContext, node: ast.Attribute) -> None:
+        if not _in_contract_function(ctx, include_estimate=True):
+            return
+        dotted = ctx.dotted_name(node)
+        if dotted is None:
+            return
+        base, _, attr = dotted.rpartition(".")
+        if base == "numpy" and attr in NUMPY_FLOAT_TYPES:
+            ctx.report(
+                self,
+                node,
+                "numpy.%s on a sketch estimate/ingest/merge path silently "
+                "truncates exact integer state" % attr,
+            )
+
+
+class ImplicitFloatDivisionRule(_SketchPathRule):
+    id = "exact-implicit-float-div"
+    description = (
+        "true division inside a state-mutating sketch path; use // to keep "
+        "state words exact integers"
+    )
+    node_types = (ast.BinOp,)
+
+    def visit(self, ctx: ModuleContext, node: ast.BinOp) -> None:
+        if not isinstance(node.op, ast.Div):
+            return
+        # estimate() legitimately reports floats; mutation paths must not.
+        if _in_contract_function(ctx, include_estimate=False):
+            ctx.report(
+                self,
+                node,
+                "implicit float division in a state-mutating path; sketch "
+                "state arithmetic must stay exact (use //)",
+            )
+
+
+RULES = (NumpyTranscendentalRule(), NumpyFloatCastRule(), ImplicitFloatDivisionRule())

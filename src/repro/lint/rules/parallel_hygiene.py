@@ -1,0 +1,112 @@
+"""Parallel-hygiene rules.
+
+The plan executor runs every shard through one process-wide persistent
+pool (``repro/parallel/pool.py``); worker processes are forked, so any
+module-level mutable state in the ``parallel`` package leaks coordinator
+state into children unless the module explicitly registers an
+``os.register_at_fork`` handler to drop or reset it.  Two rules:
+
+* no direct ``ProcessPoolExecutor``/``multiprocessing.Pool`` construction
+  outside ``pool.py`` — everything goes through ``get_pool`` so pool
+  lifecycle, restart accounting, and fork safety stay in one place;
+* module-level mutable bindings in ``repro/parallel/`` require the
+  module to register a fork handler.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..engine import ModuleContext, Rule
+
+#: The one module allowed to construct executors.
+_POOL_MODULE = "src/repro/parallel/pool.py"
+
+_POOL_CONSTRUCTORS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+    }
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "bytearray", "collections.defaultdict", "collections.Counter"}
+)
+
+
+class DirectPoolRule(Rule):
+    id = "par-direct-pool"
+    description = (
+        "direct process-pool construction bypasses repro.parallel.get_pool "
+        "(fork safety, restart accounting, persistent reuse)"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/") and relpath != _POOL_MODULE
+
+    def visit(self, ctx: ModuleContext, node: ast.Call) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted in _POOL_CONSTRUCTORS:
+            ctx.report(
+                self,
+                node,
+                "%s constructed directly; use repro.parallel.get_pool so the "
+                "process-wide pool lifecycle stays in one place" % dotted,
+            )
+
+
+class ModuleMutableStateRule(Rule):
+    id = "par-module-mutable-state"
+    description = (
+        "module-level mutable state in the parallel package without a "
+        "registered fork handler"
+    )
+    node_types = (ast.Assign, ast.AnnAssign)
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/parallel/")
+
+    @staticmethod
+    def _is_mutable_value(ctx: ModuleContext, value: ast.AST) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            return True
+        if isinstance(value, ast.Call):
+            return ctx.dotted_name(value.func) in _MUTABLE_CONSTRUCTORS
+        return False
+
+    @staticmethod
+    def _targets(node: ast.AST) -> List[str]:
+        if isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            targets = node.targets  # type: ignore[attr-defined]
+        return [target.id for target in targets if isinstance(target, ast.Name)]
+
+    def visit(self, ctx: ModuleContext, node: ast.AST) -> None:
+        if not ctx.at_module_level():
+            return
+        value = node.value  # type: ignore[attr-defined]
+        if value is None or not self._is_mutable_value(ctx, value):
+            return
+        targets = self._targets(node)
+        # __all__ and friends are module metadata, never mutated at runtime.
+        if targets and all(name.startswith("__") for name in targets):
+            return
+        # A module that installs an at-fork handler owns its fork story;
+        # one that does not must not carry fork-leakable state at all.
+        if ctx.module_calls("os.register_at_fork"):
+            return
+        ctx.report(
+            self,
+            node,
+            "module-level mutable state is inherited by forked pool workers; "
+            "register an os.register_at_fork handler that resets it (see "
+            "parallel/pool.py) or move it into function scope",
+        )
+
+
+RULES = (DirectPoolRule(), ModuleMutableStateRule())

@@ -1,0 +1,126 @@
+"""Serialization-discipline rules.
+
+The wire format (``repro/serialize.py``) is deliberately pickle-free:
+payloads cross process and trust boundaries (worker pools, WAL segments,
+snapshot files), and the decode paths promise to raise exactly
+``SerializationError`` on damage so recovery can stop conservatively
+instead of guessing.  Two rules keep that discipline:
+
+* no ``pickle``-family imports anywhere under ``src/`` (the one
+  intentional exception — same-interpreter worker staging — carries an
+  inline suppression);
+* no broad ``except`` that *swallows* inside decode paths: a handler
+  catching ``Exception`` (or everything) must re-raise, normally as
+  ``SerializationError``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import ModuleContext, Rule
+
+_PICKLE_MODULES = ("pickle", "cPickle", "dill", "shelve", "marshal")
+
+_DECODE_NAMES = frozenset(
+    {
+        "from_bytes",
+        "load_state_dict",
+        "loads",
+        "loads_tree",
+        "decode",
+        "decode_frame",
+        "revive",
+        "restore",
+        "rebuild_into",
+        "read_tree",
+        "read_varint",
+    }
+)
+_DECODE_PREFIXES = ("_decode", "_read")
+
+
+def _is_pickle_module(name: str) -> bool:
+    return name in _PICKLE_MODULES or name.startswith(
+        tuple(module + "." for module in _PICKLE_MODULES)
+    )
+
+
+class PickleImportRule(Rule):
+    id = "ser-pickle-import"
+    description = (
+        "pickle-family import under src/; the wire format is repro.serialize "
+        "(pickle executes arbitrary code on load and is not canonical)"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/")
+
+    def visit(self, ctx: ModuleContext, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_pickle_module(alias.name):
+                    ctx.report(
+                        self,
+                        node,
+                        "import %s: persistent/wire state must go through "
+                        "repro.serialize" % alias.name,
+                    )
+        else:
+            module = ctx.resolve_import_from(node)  # type: ignore[arg-type]
+            if module and _is_pickle_module(module):
+                ctx.report(
+                    self,
+                    node,
+                    "from %s import ...: persistent/wire state must go "
+                    "through repro.serialize" % module,
+                )
+
+
+class BroadDecodeExceptRule(Rule):
+    id = "ser-broad-decode-except"
+    description = (
+        "broad except swallowing errors on a decode path; decode failures "
+        "must surface as SerializationError"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        names = []
+        if isinstance(handler.type, ast.Tuple):
+            names = [
+                item.id for item in handler.type.elts if isinstance(item, ast.Name)
+            ]
+        elif isinstance(handler.type, ast.Name):
+            names = [handler.type.id]
+        return any(name in ("Exception", "BaseException") for name in names)
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+    def visit(self, ctx: ModuleContext, node: ast.ExceptHandler) -> None:
+        functions = ctx.enclosing_functions()
+        on_decode_path = any(
+            name in _DECODE_NAMES or name.startswith(_DECODE_PREFIXES)
+            for name in functions
+        )
+        if not on_decode_path:
+            return
+        if self._is_broad(node) and not self._reraises(node):
+            ctx.report(
+                self,
+                node,
+                "broad except on a decode path swallows the error; re-raise "
+                "as SerializationError so recovery can stop conservatively",
+            )
+
+
+RULES = (PickleImportRule(), BroadDecodeExceptRule())

@@ -26,6 +26,7 @@ enters the sum exactly once.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Executor
 from typing import Dict, List, Optional, Sequence
 
@@ -533,6 +534,21 @@ def parallel_ingest_windowed_keyed(
 
 _MERGEABLE_CACHE: Optional[Dict[str, bool]] = None
 _DETERMINISTIC_CACHE: Dict[str, bool] = {}
+
+
+def _drop_capability_caches() -> None:
+    """Reset the registry-derived memo caches in forked pool workers.
+
+    The caches are pure functions of the estimator registry, but a child
+    should re-derive them against whatever registry *it* sees rather than
+    inherit the coordinator's snapshot through fork.
+    """
+    global _MERGEABLE_CACHE
+    _MERGEABLE_CACHE = None
+    _DETERMINISTIC_CACHE.clear()
+
+
+os.register_at_fork(after_in_child=_drop_capability_caches)
 
 
 def mergeable_f0_names(shard_deterministic_only: bool = False) -> List[str]:

@@ -59,7 +59,7 @@ from __future__ import annotations
 
 import hashlib
 from concurrent.futures import BrokenExecutor, Executor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .. import serialize

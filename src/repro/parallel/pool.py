@@ -38,7 +38,12 @@ from __future__ import annotations
 
 import atexit
 import os
-import pickle
+
+# Staged payloads never leave this interpreter's trust boundary: they are
+# written and read by the same coordinator/fork-pool process family within
+# one run, never persisted or exchanged, so the wire-format rules for
+# repro.serialize do not apply.
+import pickle  # lint: allow[ser-pickle-import] same-interpreter worker staging, not wire/persistent state
 import tempfile
 import threading
 from concurrent.futures import ProcessPoolExecutor

@@ -314,7 +314,9 @@ class _Rebuilder:
                         "dangling shared-object reference %r" % node["__ref__"]
                     ) from None
             if "__random__" in node:
-                rng = random.Random()
+                # Not an entropy draw: the fresh generator's state is
+                # overwritten by the recorded state on the next line.
+                rng = random.Random()  # lint: allow[det-unseeded-rng] state is setstate()d from the payload below
                 self._memo[node["__random__"]] = rng
                 state = self.decode(node["__state__"])
                 # getstate() round-trips through list encoding; setstate
@@ -444,7 +446,11 @@ def _encode_tree(out: bytearray, node: Any) -> None:
     elif isinstance(node, dict):
         out.append(_TAG_DICT)
         _write_varint(out, len(node))
-        for key, entry in node.items():
+        # Order-safe: _encode_tree only ever sees snapshotter output, where
+        # plain dicts have already been canonicalized into sorted __map__
+        # marker nodes; the dicts reaching here are single-marker wrappers
+        # and __state__ dicts built in deterministic construction order.
+        for key, entry in node.items():  # lint: allow[det-serialize-dict-order] input is canonical snapshotter output
             if not isinstance(key, str):
                 raise SerializationError("snapshot tree keys must be strings")
             _encode_tree(out, key)

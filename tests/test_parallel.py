@@ -22,7 +22,6 @@ from repro.parallel import (
     mergeable_f0_names,
     parallel_ingest_f0,
     parallel_ingest_into,
-    parallel_merge_shards,
     shard_items,
 )
 from repro.streams.generators import uniform_random_stream
